@@ -1,0 +1,55 @@
+"""Benchmarks regenerating the paper's Figures 2-8.
+
+Shape assertions mirror EXPERIMENTS.md: who wins and by roughly what
+factor, not absolute joules (the substrate is an analytic simulator).
+"""
+
+from conftest import regenerate
+
+
+def test_fig2_case_distribution(benchmark):
+    """Fig. 2: case-study read/write distribution over FTSPM regions."""
+    result = regenerate(benchmark, "fig2",
+                        array_words=256, outer_iterations=4)
+    # the MDA deports write traffic from the STT-RAM data region
+    assert result.data["stt_write_fraction"] < 0.2
+
+
+def test_fig3_energy_per_access(benchmark):
+    """Fig. 3: per-access dynamic energy of every region type."""
+    result = regenerate(benchmark, "fig3")
+    assert result.data["stt_write_over_sram_write"] > 5
+    assert result.data["stt_read_under_sram_read"]
+
+
+def test_fig4_rw_distribution(benchmark):
+    """Fig. 4: per-benchmark access distribution over FTSPM."""
+    result = regenerate(benchmark, "fig4")
+    assert len(result.rows) == 16
+
+
+def test_fig5_vulnerability(benchmark):
+    """Fig. 5: vulnerability, FTSPM vs pure SRAM (paper: ~7x)."""
+    result = regenerate(benchmark, "fig5")
+    assert result.data["geomean_ratio"] > 5
+    assert result.data["min_ratio"] > 3
+
+
+def test_fig6_static_energy(benchmark):
+    """Fig. 6: static energy of the three structures."""
+    result = regenerate(benchmark, "fig6")
+    assert result.data["ftspm_over_sram"] < 0.7
+    assert result.data["stt_over_sram"] < result.data["ftspm_over_sram"]
+
+
+def test_fig7_dynamic_energy(benchmark):
+    """Fig. 7: dynamic energy (paper: -47% vs SRAM, -77% vs STT)."""
+    result = regenerate(benchmark, "fig7")
+    assert result.data["ftspm_over_sram"] < 0.7
+    assert result.data["ftspm_over_stt"] < 0.6
+
+
+def test_fig8_endurance(benchmark):
+    """Fig. 8: endurance improvement (paper: ~3 orders of magnitude)."""
+    result = regenerate(benchmark, "fig8")
+    assert result.data["geomean_improvement"] > 100

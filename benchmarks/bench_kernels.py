@@ -1,0 +1,14 @@
+"""Full-simulation kernel sweep benchmark (measured, golden-verified)."""
+
+from conftest import regenerate
+
+
+def test_kernels_sweep(benchmark):
+    """Every real kernel on every structure, results golden-verified."""
+    result = regenerate(benchmark, "kernels-sweep")
+    data = result.data
+    # every run must complete and verify its golden outputs
+    assert data["verified"] == data["runs"] == 21
+    # measured dynamic energy: FTSPM beats the SRAM baseline everywhere
+    for kernel, ratio in data["ftspm_dyn_over_sram"].items():
+        assert ratio < 1.0, kernel

@@ -1,0 +1,32 @@
+"""Benchmarks for the paper's scalar claims (Sections IV and V)."""
+
+from conftest import regenerate
+
+
+def test_case_scalars_full_simulation(benchmark):
+    """Section IV: reliability 86% vs 62%, dynamic -44%, static -56%.
+
+    This target runs the case study end to end on all three structures
+    (real simulation, not the analytic cost model).
+    """
+    result = regenerate(benchmark, "case-scalars",
+                        array_words=256, outer_iterations=4)
+    data = result.data
+    assert data["reliability_ftspm"] - data["reliability_sram"] > 0.1
+    assert data["dynamic_reduction_vs_sram"] > 0.25
+    assert data["static_reduction_vs_sram"] > 0.4
+    assert data["vulnerability_ratio"] > 2
+
+
+def test_perf_overhead(benchmark):
+    """Section V: performance overhead below 1% vs the SRAM baseline."""
+    result = regenerate(benchmark, "perf-overhead")
+    assert result.data["max_overhead_percent"] < 1.0
+
+
+def test_static_power_calibration(benchmark):
+    """Section V: SPM static power 7.1 / 15.8 / 3.0 mW (exact)."""
+    result = regenerate(benchmark, "static-power")
+    assert abs(result.data["ftspm"] - 7.1) < 0.05
+    assert abs(result.data["baseline-sram"] - 15.8) < 0.05
+    assert abs(result.data["baseline-sttram"] - 3.0) < 0.05

@@ -1,0 +1,45 @@
+"""Benchmarks regenerating the paper's Tables I-IV."""
+
+from conftest import regenerate
+
+
+def bench_scale():
+    """Moderate case-study scale: paper-like 2 KB arrays are the default
+    elsewhere; benches use 256-word arrays to keep wall-clock sane."""
+    return dict(array_words=256, outer_iterations=4)
+
+
+def test_table1_profile(benchmark):
+    """Table I: case-study profiling (reads/writes/stack/life-time)."""
+    result = regenerate(benchmark, "table1", **bench_scale())
+    data = result.data
+    # the paper's qualitative rows: Mul is the hottest code block,
+    # Array2 writes only its initialisation, Main owns the recursion
+    assert data["mul_reads"] > 0
+    assert data["main_stack_calls"] > 100
+    assert data["array1_writes"] > 5 * data["array2_writes"]
+
+
+def test_table2_mda_output(benchmark):
+    """Table II: the MDA's placement for the case study."""
+    result = regenerate(benchmark, "table2", **bench_scale())
+    placement = result.data["placement"]
+    assert placement["Array1"] == "SRAM(ECC)"
+    assert placement["Stack"] == "SRAM(Parity)"
+    assert placement["Array2"] == "STT-RAM"
+    assert placement["Array4"] == "STT-RAM"
+    assert set(result.data["evicted"]) == {"Array1", "Array3", "Stack"}
+
+
+def test_table3_endurance(benchmark):
+    """Table III: wear-out horizons, pure STT-RAM vs FTSPM."""
+    result = regenerate(benchmark, "table3", **bench_scale())
+    assert result.data["improvement"] > 5
+    assert len(result.rows) == 5
+
+
+def test_table4_configuration(benchmark):
+    """Table IV: platform parameters of all three structures."""
+    result = regenerate(benchmark, "table4")
+    assert {row[0] for row in result.rows} == {
+        "ftspm", "baseline-sram", "baseline-sttram"}

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""The paper's Section IV case study, reproduced end to end.
+
+Regenerates Table I (profiling), Table II (MDA output), Fig. 2 (access
+distribution), Table III (endurance), and the Section IV scalars
+(reliability / energy), all from a real simulation of the Algorithm 2
+program (array multiplies/adds plus quicksort).
+
+Run:  python examples/case_study.py [--array-words N] [--outer M]
+"""
+
+import argparse
+
+from repro.eval import run_experiment
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--array-words", type=int, default=256,
+                        help="array size in words (512 = the paper's 2 KB)")
+    parser.add_argument("--outer", type=int, default=4,
+                        help="outer compute-loop iterations")
+    args = parser.parse_args()
+    scale = dict(array_words=args.array_words,
+                 outer_iterations=args.outer)
+
+    for name in ("table1", "table2", "fig2", "table3", "case-scalars"):
+        result = run_experiment(name, **scale)
+        print(result.text)
+        print()
+        print("=" * 72)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Monte-Carlo fault injection through the real ECC codecs.
+
+Cross-checks the paper's analytic AVF equations (1)-(7) with strikes on
+actual encoded words: encode, flip a clustered MBU pattern, decode with
+the real Hamming(72,64) / parity hardware model, classify against the
+golden data.  Reports where the measured codec behaviour deviates from
+the first-order equations (odd >=3-bit parity upsets are *detected*,
+some SEC-DED triples become DUE rather than SDC).
+
+Run:  python examples/fault_injection.py [--trials N]
+"""
+
+import argparse
+
+from repro.eval.structures import evaluate_structure, plan_for_structure
+from repro.faults import (
+    InjectionCampaign,
+    MbuDistribution,
+    region_surface_vulnerability,
+)
+from repro.workloads import mibench_names, synthetic_profile
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=100_000)
+    parser.add_argument("--benchmarks", nargs="*",
+                        default=["susan", "sha", "qsort"])
+    args = parser.parse_args()
+
+    mbu = MbuDistribution.for_node(40)
+    print("strike multiplicity model (Dixit & Wood, 40 nm): "
+          "P(1)=%.2f P(2)=%.2f P(3)=%.2f P(>3)=%.2f" % (
+              mbu.p1, mbu.p2, mbu.p3, mbu.p_more))
+    print()
+    header = ("benchmark     structure        analytic   measured   "
+              "DRE      DUE      SDC")
+    print(header)
+    print("-" * len(header))
+    for name in args.benchmarks:
+        if name not in mibench_names():
+            raise SystemExit("unknown benchmark %r" % name)
+        profile = synthetic_profile(name)
+        for structure in ("ftspm", "baseline-sram"):
+            evaluation = evaluate_structure(profile, structure)
+            analytic = region_surface_vulnerability(
+                evaluation.plan, profile, mbu=mbu,
+                uniform=structure != "ftspm").vulnerability
+            campaign = InjectionCampaign(
+                evaluation.plan.avf_entries(profile),
+                evaluation.plan.total_spm_bytes(),
+                profile.total_cycles, mbu=mbu, seed=0xF17A)
+            result = campaign.run(trials=args.trials)
+            print("%-13s %-16s %8.4f %10.4f %8d %8d %8d" % (
+                name, structure, analytic, result.vulnerability,
+                result.dre, result.due, result.sdc))
+    print()
+    print("Note: 'analytic' uses the paper's region-surface reading "
+          "(uniform for the homogeneous baseline), while 'measured' "
+          "weights by the resident blocks' ACE windows - the comparison "
+          "shows the ordering, not the same quantity.")
+
+
+if __name__ == "__main__":
+    main()

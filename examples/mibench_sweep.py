@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""The Section V sweep: Figs. 4-8 over the MiBench-like suite.
+
+Evaluates every benchmark on all three SPM structures and prints the
+per-figure tables (access distribution, vulnerability, static/dynamic
+energy, endurance) plus the performance-overhead scalar.
+
+Run:  python examples/mibench_sweep.py
+"""
+
+from repro.eval import run_experiment
+
+
+def main():
+    for name in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                 "perf-overhead", "static-power"):
+        result = run_experiment(name)
+        print(result.text)
+        print()
+        print("=" * 72)
+        print()
+
+
+if __name__ == "__main__":
+    main()

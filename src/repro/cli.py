@@ -1,0 +1,295 @@
+"""Command-line interface: ``ftspm`` (or ``python -m repro``).
+
+Subcommands::
+
+    ftspm experiments [NAME ...] [--out DIR]   regenerate tables/figures
+    ftspm profile WORKLOAD                     Table I-style profile
+    ftspm map WORKLOAD [--mode MODE]           MDA placement (Table II)
+    ftspm run WORKLOAD [--structure S]         full simulation + metrics
+    ftspm inject WORKLOAD [--trials N]         Monte-Carlo fault injection
+    ftspm disasm WORKLOAD                      disassemble a workload
+    ftspm list                                 available workloads/experiments
+
+``WORKLOAD`` is ``case`` (the paper's case study), ``kernel:NAME`` (a real
+executed kernel), or a MiBench-like suite name (profile-level only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import preset
+from .core.mda import MappingDeterminer
+from .core.online import build_machine
+from .core.priorities import OptimizationMode, thresholds_for_mode
+from .errors import ReproError
+from .eval.experiments import experiment_names, run_experiment
+from .eval.structures import STRUCTURES, plan_for_structure
+from .faults.injector import InjectionCampaign
+from .isa.disasm import disassemble_program
+from .profile.profiler import profile_program
+from .profile.report import format_profile_table
+from .units import format_energy, format_time
+from .workloads.case_study import case_study_program
+from .workloads.kernels import kernel_names, kernel_program
+from .workloads.synthetic import mibench_names, synthetic_profile
+
+
+def _resolve_workload(spec, array_words=256, outer_iterations=4, scale=1):
+    """Return (program_or_None, profile) for a workload spec."""
+    if spec == "case":
+        program = case_study_program(array_words, outer_iterations)
+        return program, profile_program(program)
+    if spec.startswith("kernel:"):
+        build = kernel_program(spec.split(":", 1)[1], scale=scale)
+        return build.program, profile_program(build.program)
+    if spec in mibench_names():
+        return None, synthetic_profile(spec)
+    raise ReproError(
+        "unknown workload %r (try 'case', 'kernel:<%s>', or one of %s)"
+        % (spec, "|".join(kernel_names()), ", ".join(mibench_names())))
+
+
+def _cmd_list(args):
+    print("experiments:", ", ".join(experiment_names()))
+    print("kernels:", ", ".join("kernel:%s" % k for k in kernel_names()))
+    print("suite:", ", ".join(mibench_names()))
+    print("structures:", ", ".join(STRUCTURES))
+    return 0
+
+
+def _cmd_experiments(args):
+    names = args.names or experiment_names()
+    for name in names:
+        result = run_experiment(name)
+        print(result.text)
+        print()
+        if args.out:
+            import os
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "%s.txt" % name)
+            with open(path, "w") as handle:
+                handle.write(result.text + "\n")
+    return 0
+
+
+def _cmd_report(args):
+    from .eval.report import generate_report
+    text = generate_report(array_words=args.array_words,
+                           outer_iterations=args.outer_iterations)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print("wrote %s (%d bytes)" % (args.out, len(text)))
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_profile(args):
+    _, profile = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    print(format_profile_table(
+        profile, title="Profile of %s" % args.workload))
+    return 0
+
+
+def _cmd_map(args):
+    _, profile = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    config = preset(args.structure)
+    if args.structure == "ftspm":
+        mode = OptimizationMode(args.mode)
+        result = MappingDeterminer(
+            config, thresholds=thresholds_for_mode(mode)).map(profile)
+        plan = result.plan
+        print(plan.format_table(
+            profile, title="MDA placement (%s, mode=%s)"
+            % (args.workload, mode.value)))
+        print()
+        for decision in result.decisions:
+            print("  step%d %-14s %-18s %s" % (
+                decision.step, decision.block, decision.action,
+                decision.detail))
+    else:
+        _, plan, _ = plan_for_structure(profile, args.structure,
+                                        config=config)
+        print(plan.format_table(
+            profile, title="%s placement (%s)"
+            % (args.structure, args.workload)))
+    return 0
+
+
+def _cmd_run(args):
+    program, profile = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    if program is None:
+        raise ReproError(
+            "workload %r is profile-only; pick 'case' or a kernel"
+            % args.workload)
+    config, plan, _ = plan_for_structure(profile, args.structure)
+    machine = build_machine(program, config, plan, profile)
+    result = machine.run()
+    print("structure:        %s" % args.structure)
+    print("instructions:     {:,}".format(result.instructions))
+    print("cycles:           {:,}".format(result.cycles))
+    print("runtime:          %s" % format_time(result.seconds))
+    print("CPI:              %.2f" % result.cpi)
+    print("dynamic energy:   %s" % format_energy(machine.dynamic_energy()))
+    print("static energy:    %s" % format_energy(machine.static_energy()))
+    print("cache accesses:   {:,} (miss rate {:.1%})".format(
+        machine.memory.cache.stats.accesses,
+        machine.memory.cache.stats.miss_rate))
+    return 0
+
+
+def _cmd_inject(args):
+    _, profile = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    config, plan, _ = plan_for_structure(profile, args.structure)
+    campaign = InjectionCampaign(
+        plan.avf_entries(profile), plan.total_spm_bytes(),
+        profile.total_cycles, seed=args.seed)
+    result = campaign.run(trials=args.trials)
+    print("trials:           {:,}".format(result.trials))
+    print("benign (immune):  {:,}".format(result.benign_immune))
+    print("benign (empty):   {:,}".format(result.benign_empty))
+    print("benign (dead):    {:,}".format(result.benign_dead))
+    print("no effect:        {:,}".format(result.none))
+    print("DRE (recovered):  {:,}".format(result.dre))
+    print("DUE (detected):   {:,}".format(result.due))
+    print("SDC (silent):     {:,}".format(result.sdc))
+    print("measured vulnerability: %.5f" % result.vulnerability)
+    return 0
+
+
+def _cmd_trace(args):
+    from .mem.hierarchy import MemorySystem
+    from .tech.nvsim_lite import energy_models_for
+    from .workloads.traces import Trace, TraceReplayer, record_trace
+
+    if args.replay:
+        trace = Trace.load(args.replay)
+        config = preset(args.structure)
+        memory = MemorySystem(config, energy_models_for(config))
+        replayer = TraceReplayer(memory).replay(trace)
+        print("replayed {:,} records in {:,} memory cycles".format(
+            replayer.replayed, replayer.cycles))
+        print("cache: {:,} accesses, miss rate {:.1%}".format(
+            memory.cache.stats.accesses, memory.cache.stats.miss_rate))
+        return 0
+    program, _ = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    if program is None:
+        raise ReproError("workload %r cannot be traced (profile-only)"
+                         % args.workload)
+    trace = record_trace(program, preset(args.structure))
+    fetches, reads, writes = trace.counts()
+    print("captured {:,} records ({:,} fetches, {:,} reads, {:,} writes)"
+          .format(len(trace), fetches, reads, writes))
+    if args.out:
+        trace.save(args.out)
+        print("wrote %s" % args.out)
+    return 0
+
+
+def _cmd_disasm(args):
+    program, _ = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    if program is None:
+        raise ReproError("workload %r has no program to disassemble"
+                         % args.workload)
+    for address, text in disassemble_program(program):
+        print("0x%08x  %s" % (address, text))
+    return 0
+
+
+def _add_workload_arguments(parser):
+    parser.add_argument("workload")
+    parser.add_argument("--array-words", type=int, default=256,
+                        help="case-study array size in words")
+    parser.add_argument("--outer-iterations", type=int, default=4,
+                        help="case-study outer loop count")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="kernel input scale factor")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="ftspm",
+        description="FTSPM (DSN 2013) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads and experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate paper tables/figures")
+    p_exp.add_argument("names", nargs="*", metavar="NAME")
+    p_exp.add_argument("--out", help="directory to write .txt reports")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_report = sub.add_parser(
+        "report", help="generate the full reproduction report (markdown)")
+    p_report.add_argument("--out", help="output path (default: stdout)")
+    p_report.add_argument("--array-words", type=int, default=256)
+    p_report.add_argument("--outer-iterations", type=int, default=4)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_profile = sub.add_parser("profile", help="profile a workload")
+    _add_workload_arguments(p_profile)
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_map = sub.add_parser("map", help="compute a mapping plan")
+    _add_workload_arguments(p_map)
+    p_map.add_argument("--structure", default="ftspm",
+                       choices=sorted(STRUCTURES))
+    p_map.add_argument("--mode", default="balanced",
+                       choices=[m.value for m in OptimizationMode])
+    p_map.set_defaults(func=_cmd_map)
+
+    p_run = sub.add_parser("run", help="run a workload on a structure")
+    _add_workload_arguments(p_run)
+    p_run.add_argument("--structure", default="ftspm",
+                       choices=sorted(STRUCTURES))
+    p_run.set_defaults(func=_cmd_run)
+
+    p_inject = sub.add_parser("inject", help="Monte-Carlo fault injection")
+    _add_workload_arguments(p_inject)
+    p_inject.add_argument("--structure", default="ftspm",
+                          choices=sorted(STRUCTURES))
+    p_inject.add_argument("--trials", type=int, default=100_000)
+    p_inject.add_argument("--seed", type=int, default=0xF7F7)
+    p_inject.set_defaults(func=_cmd_inject)
+
+    p_disasm = sub.add_parser("disasm", help="disassemble a workload")
+    _add_workload_arguments(p_disasm)
+    p_disasm.set_defaults(func=_cmd_disasm)
+
+    p_trace = sub.add_parser(
+        "trace", help="record or replay a memory-access trace")
+    _add_workload_arguments(p_trace)
+    p_trace.add_argument("--structure", default="baseline-sram",
+                         choices=sorted(STRUCTURES))
+    p_trace.add_argument("--out", help="write the captured trace here")
+    p_trace.add_argument("--replay", metavar="FILE",
+                         help="replay FILE instead of recording "
+                              "(workload argument is ignored)")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Multi-priority optimisation modes for the MDA.
+
+The paper's algorithm "is also able to optimize the mapping of program
+blocks for reliability, performance, power, or endurance according to
+system requirements" — the knobs being Algorithm 1's three thresholds.
+Each mode is a :class:`Thresholds` preset:
+
+* **BALANCED** (the paper's evaluation setting): lenient performance and
+  energy budgets, endurance guarded by a write threshold at 5% of the
+  workload's total data writes — for the case study this makes the
+  endurance step (step 5) the deciding one, exactly as in Section IV.
+* **RELIABILITY**: everything stays in STT-RAM (thresholds disabled).
+* **PERFORMANCE** / **POWER**: tight budget on the respective overhead.
+* **ENDURANCE**: aggressive write threshold, pushing any block with
+  non-trivial write traffic out of the STT-RAM region.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import MappingError
+
+
+class OptimizationMode(enum.Enum):
+    """Which property the mapping should favour."""
+
+    BALANCED = "balanced"
+    RELIABILITY = "reliability"
+    PERFORMANCE = "performance"
+    POWER = "power"
+    ENDURANCE = "endurance"
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Algorithm 1's budgets.
+
+    ``performance_overhead`` and ``energy_overhead`` are fractional
+    overheads relative to the ideal (all-parity-SRAM) scenario;
+    ``write_fraction`` sets the STT-RAM write threshold as a fraction of
+    the workload's total data writes, unless an absolute ``write_count``
+    overrides it.
+    """
+
+    performance_overhead: float = 1.0
+    energy_overhead: float = 10.0
+    write_fraction: float = 0.05
+    write_count: int = None
+
+    def write_threshold(self, total_data_writes):
+        """Resolve the absolute write-cycles threshold of step 5."""
+        if self.write_count is not None:
+            return self.write_count
+        if not 0.0 <= self.write_fraction:
+            raise MappingError("write_fraction must be non-negative")
+        if math.isinf(self.write_fraction):
+            return float("inf")
+        return self.write_fraction * total_data_writes
+
+
+_MODE_PRESETS = {
+    OptimizationMode.BALANCED: Thresholds(
+        performance_overhead=1.0,
+        energy_overhead=10.0,
+        write_fraction=0.05,
+    ),
+    OptimizationMode.RELIABILITY: Thresholds(
+        performance_overhead=float("inf"),
+        energy_overhead=float("inf"),
+        write_fraction=float("inf"),
+    ),
+    OptimizationMode.PERFORMANCE: Thresholds(
+        performance_overhead=0.10,
+        energy_overhead=float("inf"),
+        write_fraction=0.05,
+    ),
+    OptimizationMode.POWER: Thresholds(
+        performance_overhead=float("inf"),
+        energy_overhead=0.5,
+        write_fraction=0.05,
+    ),
+    OptimizationMode.ENDURANCE: Thresholds(
+        performance_overhead=float("inf"),
+        energy_overhead=float("inf"),
+        write_fraction=0.002,
+    ),
+}
+
+
+def thresholds_for_mode(mode):
+    """The preset budgets for an :class:`OptimizationMode`."""
+    try:
+        return _MODE_PRESETS[mode]
+    except KeyError:
+        raise MappingError("unknown optimisation mode %r" % mode) from None

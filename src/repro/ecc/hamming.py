@@ -1,0 +1,107 @@
+"""Hamming SEC-DED codec — the (72,64) code of the paper's ECC region.
+
+Shortened Hamming code with check bits at power-of-two positions 1..64
+plus an overall parity bit, giving single-error correction and
+double-error detection.  Behaviour under multi-bit upsets is *computed*,
+not assumed: a triple flip whose syndrome lands on a valid position gets
+"corrected" into the wrong word — the silent-data-corruption channel that
+makes SEC-DED insufficient against MBUs (the paper's core motivation).
+
+Bit layout of a codeword integer: bit 0 is the overall parity bit; bits
+1..71 are Hamming positions 1..71 (check bits at positions 1, 2, 4, 8,
+16, 32, 64; data bits at the remaining 64 positions in ascending order).
+"""
+
+from __future__ import annotations
+
+from ..errors import FaultInjectionError
+from .codec import Codec, DecodeOutcome, DecodeResult
+
+
+class SecDedCodec(Codec):
+    """Hamming SEC-DED over ``data_bits`` data bits (default 64)."""
+
+    name = "sec-ded"
+
+    def __init__(self, data_bits=64):
+        if data_bits <= 0:
+            raise FaultInjectionError("data_bits must be positive")
+        self.data_bits = data_bits
+        hamming_checks = 1
+        while (1 << hamming_checks) < data_bits + hamming_checks + 1:
+            hamming_checks += 1
+        self._hamming_checks = hamming_checks
+        self.check_bits = hamming_checks + 1  # + overall parity
+        self._total_positions = data_bits + hamming_checks  # positions 1..N
+        self._check_positions = [1 << i for i in range(hamming_checks)]
+        self._data_positions = [
+            position for position in range(1, self._total_positions + 1)
+            if position & (position - 1)  # not a power of two
+        ]
+        if len(self._data_positions) != data_bits:
+            raise FaultInjectionError(
+                "internal layout error: %d data positions for %d data bits"
+                % (len(self._data_positions), data_bits))
+
+    # --- helpers -----------------------------------------------------------
+
+    def _position_xor(self, codeword):
+        """XOR of the position indices of every set bit (the syndrome)."""
+        syndrome = 0
+        bits = codeword >> 1  # strip the overall parity bit
+        position = 1
+        while bits:
+            if bits & 1:
+                syndrome ^= position
+            bits >>= 1
+            position += 1
+        return syndrome
+
+    def _overall_parity(self, codeword):
+        return bin(codeword).count("1") & 1
+
+    # --- public API -----------------------------------------------------------
+
+    def encode(self, data):
+        data &= (1 << self.data_bits) - 1
+        codeword = 0
+        for index, position in enumerate(self._data_positions):
+            if (data >> index) & 1:
+                codeword |= 1 << position
+        syndrome = self._position_xor(codeword)
+        for check_position in self._check_positions:
+            if syndrome & check_position:
+                codeword |= 1 << check_position
+        # Now the position-XOR of the full word is zero; add overall parity.
+        if self._overall_parity(codeword):
+            codeword |= 1
+        return codeword
+
+    def _extract(self, codeword):
+        data = 0
+        for index, position in enumerate(self._data_positions):
+            if (codeword >> position) & 1:
+                data |= 1 << index
+        return data
+
+    def decode(self, codeword):
+        syndrome = self._position_xor(codeword)
+        parity_error = self._overall_parity(codeword) == 1
+        if syndrome == 0 and not parity_error:
+            return DecodeResult(data=self._extract(codeword),
+                                outcome=DecodeOutcome.CLEAN)
+        if syndrome == 0 and parity_error:
+            # Only the overall parity bit flipped; data is intact.
+            return DecodeResult(data=self._extract(codeword),
+                                outcome=DecodeOutcome.CORRECTED)
+        if parity_error:
+            # Odd number of flips; trust the syndrome as a position.
+            if syndrome <= self._total_positions:
+                corrected = codeword ^ (1 << syndrome)
+                return DecodeResult(data=self._extract(corrected),
+                                    outcome=DecodeOutcome.CORRECTED)
+            return DecodeResult(data=self._extract(codeword),
+                                outcome=DecodeOutcome.DETECTED_UNCORRECTABLE)
+        # Non-zero syndrome with even parity: double (even) error.
+        return DecodeResult(data=self._extract(codeword),
+                            outcome=DecodeOutcome.DETECTED_UNCORRECTABLE)

@@ -1,0 +1,49 @@
+"""Even-parity codec: one check bit per data word.
+
+Detects every odd-multiplicity upset; even-multiplicity upsets pass
+silently (SDC).  Parity cannot correct, so any detection is a DUE —
+matching equations (4) and (6) of the paper:
+``DUE = P(1 bit)``, ``SDC = P(>= 2 bits)`` (the odd >= 3 cases are DUEs
+too, but the paper's first-order model charges all multi-bit upsets to
+SDC; the injector measures the exact behaviour).
+"""
+
+from __future__ import annotations
+
+from ..errors import FaultInjectionError
+from .codec import Codec, DecodeOutcome, DecodeResult
+
+
+def _parity(value):
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+class ParityCodec(Codec):
+    """Even parity over a ``data_bits``-wide word (default 32)."""
+
+    name = "parity"
+    check_bits = 1
+
+    def __init__(self, data_bits=32):
+        if data_bits <= 0:
+            raise FaultInjectionError("data_bits must be positive")
+        self.data_bits = data_bits
+        self._data_mask = (1 << data_bits) - 1
+
+    def encode(self, data):
+        data &= self._data_mask
+        return data | (_parity(data) << self.data_bits)
+
+    def decode(self, codeword):
+        data = codeword & self._data_mask
+        stored = (codeword >> self.data_bits) & 1
+        if _parity(data) == stored:
+            return DecodeResult(data=data, outcome=DecodeOutcome.CLEAN)
+        return DecodeResult(
+            data=data, outcome=DecodeOutcome.DETECTED_UNCORRECTABLE)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the FTSPM reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  Sub-hierarchies
+mirror the subsystems: assembly/ISA errors, simulation errors, memory-system
+errors, and mapping errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class AssemblyError(ReproError):
+    """Raised when assembly source cannot be assembled.
+
+    Carries the source line number (1-based) when known.
+    """
+
+    def __init__(self, message, line=None, source_line=None):
+        self.line = line
+        self.source_line = source_line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+            if source_line is not None:
+                message = "%s\n    %s" % (message, source_line.strip())
+        super().__init__(message)
+
+
+class EncodingError(AssemblyError):
+    """Raised when an instruction cannot be encoded (bad operands, range)."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors that occur while simulating a program."""
+
+
+class IllegalInstructionError(SimulationError):
+    """Raised when the CPU fetches an undecodable instruction word."""
+
+
+class MemoryAccessError(SimulationError):
+    """Raised on an access outside every mapped device, or misaligned."""
+
+    def __init__(self, message, address=None):
+        self.address = address
+        if address is not None:
+            message = "%s (address=0x%08x)" % (message, address)
+        super().__init__(message)
+
+
+class ExecutionLimitExceeded(SimulationError):
+    """Raised when a program runs past the configured instruction budget."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for inconsistent or impossible system configurations."""
+
+
+class MappingError(ReproError):
+    """Raised when a mapping algorithm cannot produce a legal placement."""
+
+
+class ProfileError(ReproError):
+    """Raised when profiling input is malformed or incomplete."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault-injection campaign parameters."""
+
+
+class TraceError(ReproError):
+    """Raised when a trace stream is malformed or cannot be replayed."""

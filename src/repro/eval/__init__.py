@@ -1,0 +1,53 @@
+"""Evaluation pipelines: every table and figure of the paper's Section V.
+
+* :mod:`structures` — evaluate one workload profile on one SPM structure
+  (FTSPM + the two baselines): plan, cycles, dynamic/static energy,
+  vulnerability, endurance.
+* :mod:`endurance` — Table III / Fig. 8 lifetime analysis.
+* :mod:`distribution` — Figs. 2 and 4 read/write distribution across the
+  FTSPM regions.
+* :mod:`experiments` — the per-table/per-figure regeneration harness the
+  benchmarks call; each experiment returns structured rows plus a
+  rendered text block.
+* :mod:`tables` — ASCII rendering helpers shared by reports.
+"""
+
+from .structures import (
+    STRUCTURES,
+    StructureEvaluation,
+    evaluate_structure,
+    plan_for_structure,
+)
+from .endurance import EnduranceAnalysis, endurance_analysis, WRITE_THRESHOLDS
+from .distribution import RegionDistribution, region_distribution
+from .tables import render_table
+from .charts import render_bar_chart
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+    experiment_names,
+)
+from . import ablations  # noqa: F401  (registers ablation experiments)
+from .report import generate_report, iter_report_sections, write_report
+
+__all__ = [
+    "STRUCTURES",
+    "StructureEvaluation",
+    "evaluate_structure",
+    "plan_for_structure",
+    "EnduranceAnalysis",
+    "endurance_analysis",
+    "WRITE_THRESHOLDS",
+    "RegionDistribution",
+    "region_distribution",
+    "render_table",
+    "render_bar_chart",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "experiment_names",
+    "generate_report",
+    "iter_report_sections",
+    "write_report",
+]

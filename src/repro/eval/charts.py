@@ -1,0 +1,63 @@
+"""ASCII bar charts for the figure experiments.
+
+The paper's evaluation artifacts are *figures*; these helpers render
+grouped horizontal bar charts in plain text so a regenerated figure is
+readable directly in a terminal or a benchmark report.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+_GLYPHS = ("#", "=", "o", "+", "x")
+
+
+def render_bar_chart(labels, series, width=46, title=None,
+                     value_format="%.3g", log_scale=False):
+    """Render grouped horizontal bars.
+
+    ``labels`` names the groups (one per row set); ``series`` maps a
+    series name to its list of values (one per label).  With
+    ``log_scale`` bar lengths are proportional to log10 of the value —
+    right for quantities spanning orders of magnitude (Fig. 8).
+    """
+    series = dict(series)
+    if not series:
+        raise ReproError("bar chart needs at least one series")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ReproError(
+                "series %r has %d values for %d labels"
+                % (name, len(values), len(labels)))
+    import math
+
+    def magnitude(value):
+        if not log_scale:
+            return max(0.0, value)
+        if value <= 0:
+            return 0.0
+        return math.log10(value) + 1.0  # 1.0 so values >= 1 get a bar
+
+    peak = max((magnitude(value)
+                for values in series.values() for value in values),
+               default=0.0)
+    label_width = max(len(str(label)) for label in labels)
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for index, label in enumerate(labels):
+        for series_index, (name, values) in enumerate(series.items()):
+            value = values[index]
+            length = (0 if peak == 0
+                      else round(magnitude(value) / peak * width))
+            glyph = _GLYPHS[series_index % len(_GLYPHS)]
+            row_label = str(label) if series_index == 0 else ""
+            lines.append("%s | %-*s %-*s %s" % (
+                row_label.rjust(label_width), name_width, name,
+                width + 1, glyph * length, value_format % value))
+        if len(series) > 1:
+            lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

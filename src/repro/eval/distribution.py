@@ -1,0 +1,80 @@
+"""Read/write distribution across the FTSPM regions (Figs. 2 and 4).
+
+Figure 2 (case study) and Figure 4 (per benchmark) report how reads and
+writes spread over the hybrid structure.  Following the paper, the ECC
+and parity percentages are "calculated based on the total read and write
+operations occurring alongside the SRAM cells", while the STT-RAM
+percentages are of the whole access stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MemoryTechnology, Protection
+
+
+@dataclass
+class RegionDistribution:
+    """Access distribution of one workload over one plan."""
+
+    workload: str
+    reads: dict  # bucket -> count; buckets: ispm-stt / dstt / ecc / parity / unmapped
+    writes: dict
+
+    _BUCKETS = ("ispm-stt", "dstt", "ecc", "parity", "unmapped")
+
+    def total_reads(self):
+        return sum(self.reads.values())
+
+    def total_writes(self):
+        return sum(self.writes.values())
+
+    def fraction(self, kind, bucket):
+        counts = self.reads if kind == "read" else self.writes
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        return counts.get(bucket, 0) / total
+
+    def sram_fraction(self, kind, bucket):
+        """ECC/parity share of SRAM-only traffic (the paper's convention)."""
+        counts = self.reads if kind == "read" else self.writes
+        sram_total = counts.get("ecc", 0) + counts.get("parity", 0)
+        if sram_total == 0:
+            return 0.0
+        return counts.get(bucket, 0) / sram_total
+
+
+def _bucket_of(config, plan, region_name):
+    for spm, ispm in ((config.instruction_spm, True),
+                      (config.data_spm, False)):
+        for region in spm.regions:
+            if region.name != region_name:
+                continue
+            if ispm:
+                return "ispm-stt"
+            if region.technology is MemoryTechnology.STT_RAM:
+                return "dstt"
+            if region.protection is Protection.SECDED:
+                return "ecc"
+            if region.protection is Protection.PARITY:
+                return "parity"
+            return "unmapped"
+    return "unmapped"
+
+
+def region_distribution(profile, plan, config):
+    """Aggregate the profile's accesses into region buckets."""
+    reads = {bucket: 0 for bucket in RegionDistribution._BUCKETS}
+    writes = {bucket: 0 for bucket in RegionDistribution._BUCKETS}
+    for stats in profile.blocks.values():
+        assignment = plan.assignments.get(stats.name)
+        if assignment is None or not assignment.mapped:
+            bucket = "unmapped"
+        else:
+            bucket = _bucket_of(config, plan, assignment.region_name)
+        reads[bucket] += stats.reads
+        writes[bucket] += stats.writes
+    return RegionDistribution(
+        workload=profile.source_name, reads=reads, writes=writes)

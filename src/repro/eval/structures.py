@@ -1,0 +1,151 @@
+"""Evaluate one workload on one SPM structure.
+
+The paper compares three structures (Table IV): FTSPM, the pure SEC-DED
+SRAM baseline, and the pure STT-RAM baseline.  For a given workload
+profile this module produces the complete metric set every figure draws
+from: the mapping plan, estimated cycles and runtime, dynamic and static
+energy, AVF vulnerability, and the hottest-cell write rate for the
+endurance analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import (
+    MemoryTechnology,
+    baseline_sram_config,
+    baseline_sttram_config,
+    ftspm_config,
+)
+from ..core.baselines import pure_sram_plan, pure_sttram_plan
+from ..core.costs import ScenarioCostModel
+from ..core.mda import MappingDeterminer
+from ..errors import ConfigurationError
+from ..faults.avf import region_surface_vulnerability
+from ..faults.mbu import MbuDistribution
+from ..tech.nvsim_lite import energy_models_for
+
+STRUCTURES = ("ftspm", "baseline-sram", "baseline-sttram")
+
+_WORD = 4
+
+
+@dataclass
+class StructureEvaluation:
+    """All metrics of one (profile, structure) pair."""
+
+    structure: str
+    workload: str
+    config: object
+    plan: object
+    cycles: float
+    runtime_seconds: float
+    dynamic_energy: float
+    static_energy: float
+    leakage_power: float
+    vulnerability: float
+    sdc_avf: float
+    due_avf: float
+    max_cell_write_rate: float  # writes/second on the hottest STT cell
+    mda_result: object = None
+
+    @property
+    def reliability(self):
+        return 1.0 - self.vulnerability
+
+    @property
+    def total_energy(self):
+        return self.dynamic_energy + self.static_energy
+
+
+def plan_for_structure(profile, structure, config=None, thresholds=None):
+    """Build the mapping plan a structure uses for a profile."""
+    if structure == "ftspm":
+        config = config or ftspm_config()
+        mda = MappingDeterminer(config, thresholds=thresholds)
+        result = mda.map(profile)
+        return config, result.plan, result
+    if structure == "baseline-sram":
+        config = config or baseline_sram_config()
+        return config, pure_sram_plan(profile, config), None
+    if structure == "baseline-sttram":
+        config = config or baseline_sttram_config()
+        return config, pure_sttram_plan(profile, config), None
+    raise ConfigurationError(
+        "unknown structure %r (choose from %s)"
+        % (structure, ", ".join(STRUCTURES)))
+
+
+def _spm_leakage(config, energy_models):
+    leakage = 0.0
+    for spm in (config.instruction_spm, config.data_spm):
+        for region in spm.regions:
+            leakage += energy_models[region.name].leakage_power
+    return leakage
+
+
+def _max_cell_write_rate(profile, plan, config, runtime_seconds):
+    """Peak per-cell write rate across the structure's STT-RAM regions."""
+    if runtime_seconds <= 0:
+        return 0.0
+    stt_regions = {
+        slot.name for slot in plan.slots.values()
+        if _is_stt(config, slot.name)
+    }
+    peak = 0.0
+    for assignment in plan.mapped_blocks():
+        if assignment.region_name not in stt_regions:
+            continue
+        stats = profile.get(assignment.block_name)
+        words = max(1, stats.size // _WORD)
+        hottest_writes = stats.writes / words * stats.write_skew
+        peak = max(peak, hottest_writes / runtime_seconds)
+    return peak
+
+
+def _is_stt(config, region_name):
+    for spm in (config.instruction_spm, config.data_spm):
+        for region in spm.regions:
+            if region.name == region_name:
+                return region.technology is MemoryTechnology.STT_RAM
+    return False
+
+
+def evaluate_structure(profile, structure, config=None, thresholds=None,
+                       mbu=None, cache_miss_rate=0.08):
+    """Full metric set for one workload on one structure."""
+    config, plan, mda_result = plan_for_structure(
+        profile, structure, config=config, thresholds=thresholds)
+    energy_models = energy_models_for(config)
+    cost_model = ScenarioCostModel(profile, config,
+                                   energy_models=energy_models,
+                                   cache_miss_rate=cache_miss_rate)
+    cost = cost_model.cost_of(plan)
+    runtime_seconds = cost.total_cycles * config.cycle_time
+    leakage = _spm_leakage(config, energy_models)
+    mbu = mbu or MbuDistribution.for_node(config.technology_node_nm)
+    # Paper semantics (Fig. 5 / Section IV): the homogeneous baselines are
+    # read as a uniformly vulnerable surface (constant ~0.38 for SEC-DED
+    # SRAM, 0 for STT-RAM); the hybrid's vulnerability tracks the ACE-
+    # weighted utilization of its SRAM regions.
+    uniform = structure != "ftspm"
+    breakdown = region_surface_vulnerability(
+        plan, profile, mbu=mbu, uniform=uniform)
+    return StructureEvaluation(
+        structure=structure,
+        workload=profile.source_name,
+        config=config,
+        plan=plan,
+        cycles=cost.total_cycles,
+        runtime_seconds=runtime_seconds,
+        dynamic_energy=cost.dynamic_energy,
+        static_energy=leakage * runtime_seconds,
+        leakage_power=leakage,
+        vulnerability=breakdown.vulnerability,
+        sdc_avf=breakdown.sdc_avf,
+        due_avf=breakdown.due_avf,
+        max_cell_write_rate=_max_cell_write_rate(
+            profile, plan, config, runtime_seconds),
+        mda_result=mda_result,
+    )

@@ -1,0 +1,33 @@
+"""Small ASCII table renderer used by every report."""
+
+from __future__ import annotations
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-rows table with right-aligned numeric columns."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    all_rows = [list(headers)] + text_rows
+    widths = [max(len(row[i]) for row in all_rows)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(
+        header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(" | ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return "%.3g" % value
+        return "%.3f" % value
+    if isinstance(value, int):
+        return "{:,}".format(value)
+    return str(value)

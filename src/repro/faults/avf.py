@@ -1,0 +1,196 @@
+"""Architectural Vulnerability Factor model — equations (1)–(7).
+
+The paper computes SPM vulnerability as::
+
+    Vulnerability = SDC_AVF + DUE_AVF                            (1)
+    SDC_AVF = sum_i ACE_i * SDC_probability(region_i)            (2)
+    DUE_AVF = sum_i ACE_i * DUE_probability(region_i)            (3)
+
+with the per-region probabilities driven by the strike multiplicity
+distribution::
+
+    DUE(parity)  = P(1 bit)                                      (4)
+    DUE(SEC-DED) = P(2 bits)                                     (5)
+    SDC(parity)  = P(>= 2 bits)                                  (6)
+    SDC(SEC-DED) = P(>= 3 bits)                                  (7)
+
+STT-RAM regions contribute nothing (immune).  Each block's weight is its
+ACE-time fraction multiplied by its share of the SPM surface (a strike
+lands uniformly over the array area), which also reproduces the paper's
+observation that the uniform all-SEC-DED baseline is nearly workload-
+independent while FTSPM's vulnerability tracks how little of its surface
+is SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import Protection
+from ..errors import FaultInjectionError
+from .mbu import MbuDistribution
+
+
+@dataclass(frozen=True)
+class RegionErrorProbabilities:
+    """Per-strike outcome probabilities for one protection scheme."""
+
+    protection: Protection
+    sdc: float
+    due: float
+    dre: float
+
+    @property
+    def harmful(self):
+        """Probability a strike on live data harms the run (eq. 1 terms)."""
+        return self.sdc + self.due
+
+
+def region_error_probabilities(protection, mbu=None):
+    """Equations (4)–(7) for one protection scheme."""
+    mbu = mbu or MbuDistribution.for_node(40)
+    if protection is Protection.IMMUNE:
+        return RegionErrorProbabilities(protection, 0.0, 0.0, 0.0)
+    if protection is Protection.PARITY:
+        return RegionErrorProbabilities(
+            protection,
+            sdc=mbu.p_at_least(2),
+            due=mbu.p_exactly(1),
+            dre=0.0,
+        )
+    if protection is Protection.SECDED:
+        return RegionErrorProbabilities(
+            protection,
+            sdc=mbu.p_at_least(3),
+            due=mbu.p_exactly(2),
+            dre=mbu.p_exactly(1),
+        )
+    if protection is Protection.NONE:
+        return RegionErrorProbabilities(protection, sdc=1.0, due=0.0, dre=0.0)
+    raise FaultInjectionError("unknown protection %r" % protection)
+
+
+@dataclass
+class BlockVulnerability:
+    """One block's contribution to the scenario vulnerability."""
+
+    name: str
+    protection: Protection
+    area_fraction: float
+    ace_fraction: float
+    sdc: float
+    due: float
+
+    @property
+    def total(self):
+        return self.sdc + self.due
+
+
+@dataclass
+class VulnerabilityBreakdown:
+    """Equation (1) plus its per-block decomposition."""
+
+    sdc_avf: float = 0.0
+    due_avf: float = 0.0
+    blocks: list = field(default_factory=list)
+
+    @property
+    def vulnerability(self):
+        return self.sdc_avf + self.due_avf
+
+    @property
+    def reliability(self):
+        """The paper's Section IV "reliability" scalar (86% vs 62%)."""
+        return 1.0 - self.vulnerability
+
+
+def region_surface_vulnerability(plan, profile, mbu=None, uniform=False,
+                                 spm_name=None, ace_floor=0.3):
+    """Region-surface reading of equations (1)–(3) — the paper's Fig. 5.
+
+    A strike lands uniformly over the data-SPM surface; each *region*
+    contributes ``area_share x utilization x harmful_probability`` where
+    utilization is the ACE-time-weighted fraction of the region holding
+    live data.  With ``uniform=True`` every region is treated as fully
+    utilized — the paper's reading of the homogeneous SEC-DED baseline,
+    which makes its vulnerability the workload-independent constant
+    ``P(2 bits) + P(>= 3 bits)`` (~0.38 at 40 nm) and its Section IV
+    "reliability" the quoted 62%.
+
+    ``spm_name`` restricts the surface (default: the data SPM, matching
+    the paper's D-SPM focus; the instruction SPM is all-STT-RAM in FTSPM
+    and is reported separately when desired).
+    """
+    mbu = mbu or MbuDistribution.for_node(40)
+    spm_name = spm_name or "D-SPM"
+    slots = [slot for slot in plan.slots.values()
+             if slot.spm_name == spm_name]
+    total_area = sum(slot.size for slot in slots)
+    if total_area <= 0:
+        raise FaultInjectionError("SPM %r has no surface" % spm_name)
+    breakdown = VulnerabilityBreakdown()
+    total_cycles = profile.total_cycles
+    for slot in slots:
+        probabilities = region_error_probabilities(slot.protection, mbu)
+        if uniform:
+            utilization = 1.0
+        else:
+            # Block-granular ACE underestimates word-level liveness (a
+            # single live word keeps its whole access gap vulnerable), so
+            # occupied bytes never count below ``ace_floor``.
+            live = 0.0
+            for assignment in plan.blocks_in_region(slot.name):
+                stats = profile.get(assignment.block_name)
+                ace = (min(1.0, stats.ace_cycles / total_cycles)
+                       if total_cycles > 0 else 0.0)
+                live += stats.size * max(ace, ace_floor)
+            utilization = min(1.0, live / slot.size)
+        weight = (slot.size / total_area) * utilization
+        block = BlockVulnerability(
+            name=slot.name,
+            protection=slot.protection,
+            area_fraction=slot.size / total_area,
+            ace_fraction=utilization,
+            sdc=weight * probabilities.sdc,
+            due=weight * probabilities.due,
+        )
+        breakdown.sdc_avf += block.sdc
+        breakdown.due_avf += block.due
+        breakdown.blocks.append(block)
+    return breakdown
+
+
+def vulnerability_of_placement(entries, total_spm_bytes, total_cycles,
+                               mbu=None, ace_weighted=True):
+    """Evaluate equations (1)–(3) for a mapping scenario.
+
+    ``entries`` is an iterable of ``(block_stats, protection)`` pairs for
+    every block resident in the SPM; ``total_spm_bytes`` is the full SPM
+    surface a strike can hit.  With ``ace_weighted=False`` every resident
+    block is treated as vulnerable for the whole run (the conservative
+    uniform-surface reading under which the paper's baseline is constant).
+    """
+    if total_spm_bytes <= 0:
+        raise FaultInjectionError("total_spm_bytes must be positive")
+    mbu = mbu or MbuDistribution.for_node(40)
+    breakdown = VulnerabilityBreakdown()
+    for stats, protection in entries:
+        probabilities = region_error_probabilities(protection, mbu)
+        area_fraction = min(1.0, stats.size / total_spm_bytes)
+        if ace_weighted and total_cycles > 0:
+            ace_fraction = min(1.0, stats.ace_cycles / total_cycles)
+        else:
+            ace_fraction = 1.0
+        weight = area_fraction * ace_fraction
+        block = BlockVulnerability(
+            name=stats.name,
+            protection=protection,
+            area_fraction=area_fraction,
+            ace_fraction=ace_fraction,
+            sdc=weight * probabilities.sdc,
+            due=weight * probabilities.due,
+        )
+        breakdown.sdc_avf += block.sdc
+        breakdown.due_avf += block.due
+        breakdown.blocks.append(block)
+    return breakdown

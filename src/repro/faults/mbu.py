@@ -1,0 +1,109 @@
+"""Multiple-bit-upset statistics for particle strikes.
+
+The paper cites Dixit & Wood (IRPS'11): at the 40 nm node, a particle
+strike flips one bit with probability 62%, two bits 25%, three bits 6%,
+and more than three 7%.  Strikes are spatially clustered — the flipped
+bits of a multi-bit upset land in neighbouring cells — which is exactly
+why word-interleaved ECC struggles; we model the cluster as a contiguous
+window around a random start bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import FaultInjectionError
+from ..tech.params import node_params
+
+
+@dataclass(frozen=True)
+class StrikePattern:
+    """One sampled strike: which bit positions of a codeword flip."""
+
+    multiplicity: int
+    bit_positions: tuple
+
+    def apply(self, codeword):
+        for position in self.bit_positions:
+            codeword ^= 1 << position
+        return codeword
+
+
+class MbuDistribution:
+    """Multiplicity distribution of bit flips per particle strike."""
+
+    def __init__(self, probabilities, max_multiplicity=6):
+        if len(probabilities) != 4:
+            raise FaultInjectionError(
+                "need 4 probabilities: P(1), P(2), P(3), P(>3)")
+        total = sum(probabilities)
+        if abs(total - 1.0) > 1e-9:
+            raise FaultInjectionError(
+                "multiplicity probabilities must sum to 1 (got %g)" % total)
+        if any(p < 0 for p in probabilities):
+            raise FaultInjectionError("probabilities must be non-negative")
+        self.p1, self.p2, self.p3, self.p_more = probabilities
+        self.max_multiplicity = max_multiplicity
+
+    @classmethod
+    def for_node(cls, node_nm=40):
+        """The distribution the paper uses for its node (40 nm default)."""
+        return cls(node_params(node_nm).mbu_distribution)
+
+    # --- aggregate probabilities used by the AVF equations ------------------
+
+    def p_exactly(self, bits):
+        if bits == 1:
+            return self.p1
+        if bits == 2:
+            return self.p2
+        if bits == 3:
+            return self.p3
+        raise FaultInjectionError(
+            "only multiplicities 1..3 have exact probabilities")
+
+    def p_at_least(self, bits):
+        """P(multiplicity >= bits) for the thresholds in eqs. (4)-(7)."""
+        if bits <= 1:
+            return 1.0
+        if bits == 2:
+            return self.p2 + self.p3 + self.p_more
+        if bits == 3:
+            return self.p3 + self.p_more
+        if bits == 4:
+            return self.p_more
+        raise FaultInjectionError("threshold must be 1..4")
+
+    # --- sampling ----------------------------------------------------------------
+
+    def sample_multiplicity(self, rng):
+        value = rng.random()
+        if value < self.p1:
+            return 1
+        value -= self.p1
+        if value < self.p2:
+            return 2
+        value -= self.p2
+        if value < self.p3:
+            return 3
+        # ">3": geometric tail over 4..max_multiplicity
+        multiplicity = 4
+        while (multiplicity < self.max_multiplicity
+               and rng.random() < 0.4):
+            multiplicity += 1
+        return multiplicity
+
+    def sample_pattern(self, rng, codeword_bits):
+        """Sample a clustered strike over a ``codeword_bits``-wide word."""
+        multiplicity = self.sample_multiplicity(rng)
+        multiplicity = min(multiplicity, codeword_bits)
+        window = min(codeword_bits, multiplicity + 2)
+        start = rng.randrange(codeword_bits - window + 1)
+        positions = rng.sample(range(start, start + window), multiplicity)
+        return StrikePattern(multiplicity, tuple(sorted(positions)))
+
+
+def make_rng(seed):
+    """A deterministic RNG for injection campaigns."""
+    return random.Random(seed)

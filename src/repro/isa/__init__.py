@@ -1,0 +1,64 @@
+"""A small ARM-like instruction set, assembler, and program image.
+
+This package is the FaCSim substitute's front end: workloads are written in
+a compact ARM-flavoured assembly dialect, assembled into a
+:class:`~repro.isa.program.Program`, and executed by
+:mod:`repro.sim` against a configurable memory hierarchy.
+
+Public surface:
+
+* :func:`assemble` — assemble source text into a :class:`Program`.
+* :class:`Program` — the loadable image (instructions, data, symbols,
+  code blocks, data objects).
+* :class:`Instruction`, :data:`Mnemonic`, :class:`Operand` helpers.
+* :func:`disassemble` — render an instruction back to text.
+"""
+
+from .instructions import (
+    Condition,
+    Instruction,
+    Mnemonic,
+    Operand,
+    OperandKind,
+    imm,
+    label_ref,
+    reg,
+    reg_list,
+)
+from .registers import (
+    FP,
+    LR,
+    NUM_REGISTERS,
+    PC,
+    SP,
+    register_name,
+    register_number,
+)
+from .program import CodeBlock, DataObject, Program, Section
+from .assembler import assemble
+from .disasm import disassemble
+
+__all__ = [
+    "Condition",
+    "Instruction",
+    "Mnemonic",
+    "Operand",
+    "OperandKind",
+    "imm",
+    "label_ref",
+    "reg",
+    "reg_list",
+    "FP",
+    "LR",
+    "NUM_REGISTERS",
+    "PC",
+    "SP",
+    "register_name",
+    "register_number",
+    "CodeBlock",
+    "DataObject",
+    "Program",
+    "Section",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,150 @@
+"""Loadable program image produced by the assembler.
+
+A :class:`Program` carries:
+
+* the decoded instruction at each text address (4 bytes apart),
+* the initial bytes of the data section,
+* a symbol table,
+* the **code blocks** (functions) and **data objects** (arrays, scalars)
+  that the profiler and the MDA mapping algorithm reason about.  These are
+  exactly the "program blocks" of the paper: code blocks come from
+  ``.func``/``.endfunc`` markers, data objects from labelled allocations in
+  ``.data``/``.bss``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import AssemblyError
+from .instructions import INSTRUCTION_BYTES
+
+TEXT_BASE = 0x0001_0000
+DATA_BASE = 0x0010_0000
+STACK_TOP = 0x0020_0000
+DEFAULT_STACK_SIZE = 0x8000  # 32 KB of stack address space
+
+
+class Section(enum.Enum):
+    """Assembler sections."""
+
+    TEXT = "text"
+    DATA = "data"
+    BSS = "bss"
+
+
+@dataclass(frozen=True)
+class CodeBlock:
+    """A function: a contiguous range of instruction addresses."""
+
+    name: str
+    start: int
+    end: int  # exclusive
+
+    @property
+    def size(self):
+        return self.end - self.start
+
+    def contains(self, address):
+        return self.start <= address < self.end
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """A labelled data allocation: a contiguous range of data addresses."""
+
+    name: str
+    start: int
+    size: int
+
+    @property
+    def end(self):
+        return self.start + self.size
+
+    def contains(self, address):
+        return self.start <= address < self.end
+
+
+@dataclass
+class Program:
+    """An assembled program, ready to be loaded into a machine."""
+
+    instructions: dict = field(default_factory=dict)  # addr -> Instruction
+    data: bytearray = field(default_factory=bytearray)
+    data_base: int = DATA_BASE
+    text_base: int = TEXT_BASE
+    entry: int = TEXT_BASE
+    symbols: dict = field(default_factory=dict)  # name -> address
+    code_blocks: list = field(default_factory=list)
+    data_objects: list = field(default_factory=list)
+    stack_top: int = STACK_TOP
+    stack_size: int = DEFAULT_STACK_SIZE
+    source_name: str = "<assembly>"
+
+    @property
+    def text_size(self):
+        """Bytes of instruction-address space occupied by the program."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    @property
+    def data_size(self):
+        return len(self.data)
+
+    @property
+    def text_end(self):
+        return self.text_base + self.text_size
+
+    @property
+    def data_end(self):
+        return self.data_base + self.data_size
+
+    def symbol(self, name):
+        """Resolve a symbol to its address; raise on unknown names."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblyError("unknown symbol %r" % name) from None
+
+    def instruction_at(self, address):
+        """Return the instruction at ``address`` or None."""
+        return self.instructions.get(address)
+
+    def code_block_at(self, address):
+        """Return the code block containing an instruction address."""
+        for block in self.code_blocks:
+            if block.contains(address):
+                return block
+        return None
+
+    def data_object_at(self, address):
+        """Return the data object containing a data address."""
+        for obj in self.data_objects:
+            if obj.contains(address):
+                return obj
+        return None
+
+    def iter_instructions(self):
+        """Yield ``(address, instruction)`` in address order."""
+        for address in sorted(self.instructions):
+            yield address, self.instructions[address]
+
+    def validate(self):
+        """Check internal consistency; raise AssemblyError on problems."""
+        for block in self.code_blocks:
+            if block.start % INSTRUCTION_BYTES:
+                raise AssemblyError(
+                    "code block %r is misaligned" % block.name)
+            if block.end <= block.start:
+                raise AssemblyError(
+                    "code block %r is empty or inverted" % block.name)
+        previous_end = None
+        for obj in sorted(self.data_objects, key=lambda o: o.start):
+            if previous_end is not None and obj.start < previous_end:
+                raise AssemblyError(
+                    "data object %r overlaps its predecessor" % obj.name)
+            previous_end = obj.end
+        if self.entry not in self.instructions:
+            raise AssemblyError(
+                "entry point 0x%08x has no instruction" % self.entry)
+        return self

@@ -1,0 +1,54 @@
+"""Register file conventions for the ARM-like ISA.
+
+Sixteen general-purpose registers, with the usual ARM aliases:
+
+* ``r0``–``r3``: argument / scratch registers,
+* ``r4``–``r10``: callee-saved,
+* ``r11`` / ``fp``: frame pointer,
+* ``r13`` / ``sp``: stack pointer,
+* ``r14`` / ``lr``: link register,
+* ``r15`` / ``pc``: program counter.
+"""
+
+from __future__ import annotations
+
+from ..errors import AssemblyError
+
+NUM_REGISTERS = 16
+
+FP = 11
+SP = 13
+LR = 14
+PC = 15
+
+_ALIASES = {
+    "fp": FP,
+    "ip": 12,
+    "sp": SP,
+    "lr": LR,
+    "pc": PC,
+}
+
+_ALIAS_NAMES = {number: name for name, number in _ALIASES.items()}
+
+
+def register_number(name):
+    """Parse a register name (``r0``..``r15`` or an alias) to its number."""
+    text = name.strip().lower()
+    if text in _ALIASES:
+        return _ALIASES[text]
+    if text.startswith("r"):
+        try:
+            number = int(text[1:], 10)
+        except ValueError:
+            raise AssemblyError("invalid register name %r" % name) from None
+        if 0 <= number < NUM_REGISTERS:
+            return number
+    raise AssemblyError("invalid register name %r" % name)
+
+
+def register_name(number):
+    """Render a register number with its conventional alias when one exists."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError("register number out of range: %r" % number)
+    return _ALIAS_NAMES.get(number, "r%d" % number)

@@ -1,0 +1,41 @@
+"""Memory-system substrate: devices, cache, scratchpads, and routing.
+
+The hierarchy mirrors the paper's platform (Table IV):
+
+* an instruction SPM and a data SPM, each built from one or more
+  :class:`~repro.mem.device.MemoryDevice` regions (SRAM or STT-RAM),
+* an 8 KB L1 cache in front of off-chip DRAM for every reference that is
+  not currently mapped into an SPM,
+* a DMA engine that implements the online phase's block transfers.
+
+Accesses carry per-region latency and energy, and STT-RAM regions track
+per-word write counts for the endurance analysis (Table III / Fig. 8).
+"""
+
+from .stats import AccessStats, EnergyModel
+from .device import AccessResult, MemoryDevice
+from .sram import SramDevice
+from .sttram import SttRamDevice
+from .dram import DramDevice
+from .cache import Cache, CacheStats
+from .spm import Scratchpad, build_scratchpad
+from .hierarchy import AccessType, MemorySystem
+from .dma import DmaEngine, TransferRecord
+
+__all__ = [
+    "AccessStats",
+    "EnergyModel",
+    "AccessResult",
+    "MemoryDevice",
+    "SramDevice",
+    "SttRamDevice",
+    "DramDevice",
+    "Cache",
+    "CacheStats",
+    "Scratchpad",
+    "build_scratchpad",
+    "AccessType",
+    "MemorySystem",
+    "DmaEngine",
+    "TransferRecord",
+]

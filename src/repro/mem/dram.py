@@ -1,0 +1,34 @@
+"""Off-chip DRAM backing store.
+
+A single flat device covering the program's text, data, and stack address
+space.  Word accesses pay the full off-chip latency; the DMA engine and
+cache line fills use the cheaper per-burst-word figure.
+"""
+
+from __future__ import annotations
+
+from .device import MemoryDevice
+
+
+class DramDevice(MemoryDevice):
+    """Off-chip SDRAM: large, slow, and (per the paper's scope) assumed
+    protected by its own means — soft errors are evaluated only within the
+    SPM, so DRAM vulnerability is out of scope."""
+
+    technology_tag = "dram"
+
+    def __init__(self, name, base, size, latency=50, burst_word_latency=4,
+                 energy_model=None):
+        super().__init__(name, base, size, read_latency=latency,
+                         write_latency=latency, energy_model=energy_model)
+        self.burst_word_latency = burst_word_latency
+
+    @property
+    def is_soft_error_immune(self):
+        return True  # out of evaluation scope, not physically immune
+
+    def burst_cycles(self, num_words):
+        """Cycle cost of a burst of ``num_words`` sequential words."""
+        if num_words <= 0:
+            return 0
+        return self.read_latency + (num_words - 1) * self.burst_word_latency

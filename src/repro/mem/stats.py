@@ -1,0 +1,92 @@
+"""Access accounting shared by all memory devices.
+
+Every device keeps an :class:`AccessStats`: read/write counts, bytes moved,
+cycles spent, and dynamic energy.  An :class:`EnergyModel` holds the
+technology-derived per-access scalars (produced by
+:mod:`repro.tech.nvsim_lite`), so devices stay technology-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-access dynamic energy (joules) and leakage power (watts)."""
+
+    read_energy: float = 0.0
+    write_energy: float = 0.0
+    leakage_power: float = 0.0
+
+    def scaled(self, factor):
+        """Return a copy with all components multiplied by ``factor``."""
+        return EnergyModel(
+            read_energy=self.read_energy * factor,
+            write_energy=self.write_energy * factor,
+            leakage_power=self.leakage_power * factor,
+        )
+
+
+@dataclass
+class AccessStats:
+    """Mutable counters accumulated by one device or region."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_cycles: int = 0
+    write_cycles: int = 0
+    dynamic_energy: float = 0.0
+
+    @property
+    def accesses(self):
+        return self.reads + self.writes
+
+    @property
+    def total_cycles(self):
+        return self.read_cycles + self.write_cycles
+
+    def record_read(self, size, cycles, energy):
+        self.reads += 1
+        self.read_bytes += size
+        self.read_cycles += cycles
+        self.dynamic_energy += energy
+
+    def record_write(self, size, cycles, energy):
+        self.writes += 1
+        self.write_bytes += size
+        self.write_cycles += cycles
+        self.dynamic_energy += energy
+
+    def merge(self, other):
+        """Accumulate another stats object into this one."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.read_bytes += other.read_bytes
+        self.write_bytes += other.write_bytes
+        self.read_cycles += other.read_cycles
+        self.write_cycles += other.write_cycles
+        self.dynamic_energy += other.dynamic_energy
+        return self
+
+    def copy(self):
+        return AccessStats(
+            reads=self.reads,
+            writes=self.writes,
+            read_bytes=self.read_bytes,
+            write_bytes=self.write_bytes,
+            read_cycles=self.read_cycles,
+            write_cycles=self.write_cycles,
+            dynamic_energy=self.dynamic_energy,
+        )
+
+    def reset(self):
+        self.reads = 0
+        self.writes = 0
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self.read_cycles = 0
+        self.write_cycles = 0
+        self.dynamic_energy = 0.0

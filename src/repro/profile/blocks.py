@@ -1,0 +1,89 @@
+"""Program blocks: the units the profiler and mapper reason about.
+
+Blocks are exactly the paper's granularity: code blocks are functions
+(Table I: ``Main``, ``Mul``, ``Add``), data blocks are labelled data
+objects (``Array1`` … ``Array4``) plus one synthetic ``Stack`` block
+covering the stack address window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ProfileError
+
+STACK_BLOCK_NAME = "Stack"
+
+
+class BlockKind(enum.Enum):
+    """What a program block holds."""
+
+    CODE = "code"
+    DATA = "data"
+    STACK = "stack"
+
+    @property
+    def is_data_like(self):
+        """Data-SPM candidates: data objects and the stack."""
+        return self in (BlockKind.DATA, BlockKind.STACK)
+
+
+@dataclass(frozen=True)
+class ProgramBlock:
+    """One mappable block: a home address range plus its kind."""
+
+    name: str
+    kind: BlockKind
+    home_start: int
+    size: int
+
+    @property
+    def home_end(self):
+        return self.home_start + self.size
+
+    def contains(self, address):
+        return self.home_start <= address < self.home_end
+
+
+def enumerate_blocks(program, include_stack=True, stack_size=None):
+    """Extract every :class:`ProgramBlock` from an assembled program.
+
+    Code blocks come from ``.func`` markers, data blocks from data-section
+    labels, and (optionally) one stack block covering the top-of-stack
+    window.
+    """
+    blocks = []
+    seen = set()
+    for code_block in program.code_blocks:
+        _check_unique(code_block.name, seen)
+        blocks.append(ProgramBlock(
+            name=code_block.name,
+            kind=BlockKind.CODE,
+            home_start=code_block.start,
+            size=code_block.size,
+        ))
+    for data_object in program.data_objects:
+        _check_unique(data_object.name, seen)
+        blocks.append(ProgramBlock(
+            name=data_object.name,
+            kind=BlockKind.DATA,
+            home_start=data_object.start,
+            size=data_object.size,
+        ))
+    if include_stack:
+        _check_unique(STACK_BLOCK_NAME, seen)
+        size = stack_size or program.stack_size
+        blocks.append(ProgramBlock(
+            name=STACK_BLOCK_NAME,
+            kind=BlockKind.STACK,
+            home_start=program.stack_top - size,
+            size=size,
+        ))
+    return blocks
+
+
+def _check_unique(name, seen):
+    if name in seen:
+        raise ProfileError("duplicate block name %r" % name)
+    seen.add(name)

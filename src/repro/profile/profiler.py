@@ -1,0 +1,314 @@
+"""Trace-driven profiler producing per-block statistics.
+
+Attaches to a :class:`~repro.sim.machine.Machine` as a memory-system
+observer plus a CPU call listener and accumulates, per program block:
+
+* read/write counts (instruction fetches count as reads of code blocks),
+* *references* — contiguous activation episodes: for code blocks an
+  episode is an uninterrupted stretch of fetches inside the block; for
+  data-like blocks, a run of data accesses without intervening accesses
+  to other data blocks,
+* stack calls (``bl`` targets inside the block) and the maximum stack
+  depth observed while the block is active,
+* **life-time** — the span from the block's first to its last reference,
+  in cycles (the paper's Table I values are consistent with a span
+  reading; the per-episode sum is also recorded as ``active_cycles``),
+* **ACE cycles** — the read-gap accumulation used by the AVF model: a
+  bit flip matters only if it lands between a write (or earlier read)
+  and the next read of the block.
+
+The profiling platform defaults to the pure-SRAM baseline with no SPM
+mapping installed, matching the paper's static-profiling phase (counts
+and orderings are what the mapping algorithm consumes).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..config import baseline_sram_config
+from ..errors import ProfileError
+from ..mem.hierarchy import AccessType
+from ..sim.machine import Machine
+from .blocks import BlockKind, ProgramBlock, STACK_BLOCK_NAME, enumerate_blocks
+
+
+@dataclass
+class BlockStats:
+    """Everything Table I reports for one block, plus ACE time."""
+
+    block: ProgramBlock
+    reads: int = 0
+    writes: int = 0
+    references: int = 0
+    stack_calls: int = 0
+    max_stack_bytes: int = 0
+    first_touch_cycle: int = None
+    last_touch_cycle: int = 0
+    active_cycles: int = 0
+    ace_cycles: int = 0
+    #: hottest-word write count relative to the uniform per-word average;
+    #: measured from device wear in full simulation, declared by
+    #: synthetic workload models (used by the endurance analysis).
+    write_skew: float = 2.0
+
+    @property
+    def name(self):
+        return self.block.name
+
+    @property
+    def kind(self):
+        return self.block.kind
+
+    @property
+    def size(self):
+        return self.block.size
+
+    @property
+    def accesses(self):
+        return self.reads + self.writes
+
+    @property
+    def life_time(self):
+        """Span from first to last reference, in cycles."""
+        if self.first_touch_cycle is None:
+            return 0
+        return self.last_touch_cycle - self.first_touch_cycle
+
+    @property
+    def avg_reads_per_reference(self):
+        if self.references == 0:
+            return 0.0
+        return self.reads / self.references
+
+    @property
+    def avg_writes_per_reference(self):
+        if self.references == 0:
+            return 0.0
+        return self.writes / self.references
+
+    @property
+    def susceptibility(self):
+        """Algorithm 1 line 10: block references x life-time."""
+        return self.accesses * self.life_time
+
+
+class _IntervalIndex:
+    """Sorted-interval lookup from address to block."""
+
+    def __init__(self, blocks):
+        ordered = sorted(blocks, key=lambda block: block.home_start)
+        self._starts = [block.home_start for block in ordered]
+        self._blocks = ordered
+
+    def lookup(self, address):
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index >= 0:
+            block = self._blocks[index]
+            if block.contains(address):
+                return block
+        return None
+
+
+@dataclass
+class Profile:
+    """The profiling phase's output, consumed by the mapping algorithm."""
+
+    program: object
+    blocks: dict  # name -> BlockStats
+    total_cycles: int = 0
+    total_instructions: int = 0
+    source_name: str = ""
+
+    def get(self, name):
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise ProfileError("no profiled block named %r" % name) from None
+
+    def code_blocks(self):
+        return [stats for stats in self.blocks.values()
+                if stats.kind is BlockKind.CODE]
+
+    def data_blocks(self):
+        """Data-SPM candidates: data objects plus the stack block."""
+        return [stats for stats in self.blocks.values()
+                if stats.kind.is_data_like]
+
+    def by_susceptibility(self, blocks=None, descending=True):
+        chosen = list(blocks if blocks is not None
+                      else self.blocks.values())
+        return sorted(chosen, key=lambda stats: stats.susceptibility,
+                      reverse=descending)
+
+    def total_accesses(self):
+        return sum(stats.accesses for stats in self.blocks.values())
+
+
+class Profiler:
+    """Observer that accumulates a :class:`Profile` while a machine runs."""
+
+    def __init__(self, machine, include_stack=True):
+        self.machine = machine
+        program = machine.program
+        blocks = enumerate_blocks(program, include_stack=include_stack)
+        self._stats = {block.name: BlockStats(block) for block in blocks}
+        self._code_index = _IntervalIndex(
+            [b for b in blocks if b.kind is BlockKind.CODE])
+        self._data_index = _IntervalIndex(
+            [b for b in blocks if b.kind.is_data_like])
+        self._current_code = None
+        self._current_data = None
+        self._code_episode_start = 0
+        self._data_episode_start = 0
+        self._last_touch = {}
+        self._stack_low = None  # lowest stack address touched
+        self._attached = False
+
+    # --- wiring ------------------------------------------------------------
+
+    def attach(self):
+        if self._attached:
+            raise ProfileError("profiler is already attached")
+        self.machine.memory.add_observer(self._on_access)
+        self.machine.cpu.call_listeners.append(self._on_call)
+        self._attached = True
+        return self
+
+    def detach(self):
+        if self._attached:
+            self.machine.memory.remove_observer(self._on_access)
+            self.machine.cpu.call_listeners.remove(self._on_call)
+            self._attached = False
+
+    # --- event handlers ------------------------------------------------------
+
+    def _now(self):
+        return self.machine.cpu.stats.cycles
+
+    def _on_call(self, target):
+        block = self._code_index.lookup(target)
+        if block is not None:
+            self._stats[block.name].stack_calls += 1
+
+    def _on_access(self, access_type, address, size, is_write,
+                   device_name, cycles):
+        now = self._now()
+        if access_type is AccessType.FETCH:
+            self._record_fetch(address, now)
+        else:
+            self._record_data(address, is_write, now)
+
+    def _record_fetch(self, address, now):
+        block = self._code_index.lookup(address)
+        if block is None:
+            return
+        stats = self._stats[block.name]
+        stats.reads += 1
+        self._touch(stats, now, is_write=False)
+        if self._current_code is not block:
+            self._close_code_episode(now)
+            self._current_code = block
+            self._code_episode_start = now
+            stats.references += 1
+        depth = self.machine.program.stack_top - self.machine.cpu.state.sp
+        if depth > stats.max_stack_bytes:
+            stats.max_stack_bytes = depth
+
+    def _record_data(self, address, is_write, now):
+        block = self._data_index.lookup(address)
+        if block is None:
+            return
+        if block.kind is BlockKind.STACK and (
+                self._stack_low is None or address < self._stack_low):
+            self._stack_low = address
+        stats = self._stats[block.name]
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        self._touch(stats, now, is_write=is_write)
+        if self._current_data is not block:
+            self._close_data_episode(now)
+            self._current_data = block
+            self._data_episode_start = now
+            stats.references += 1
+
+    def _touch(self, stats, now, is_write):
+        if stats.first_touch_cycle is None:
+            stats.first_touch_cycle = now
+        stats.last_touch_cycle = now
+        last = self._last_touch.get(stats.name)
+        if not is_write and last is not None:
+            stats.ace_cycles += now - last
+        self._last_touch[stats.name] = now
+
+    def _close_code_episode(self, now):
+        if self._current_code is not None:
+            self._stats[self._current_code.name].active_cycles += (
+                now - self._code_episode_start)
+
+    def _close_data_episode(self, now):
+        if self._current_data is not None:
+            self._stats[self._current_data.name].active_cycles += (
+                now - self._data_episode_start)
+
+    # --- results ---------------------------------------------------------------
+
+    def finish(self):
+        """Close open episodes and return the :class:`Profile`."""
+        now = self._now()
+        self._close_code_episode(now)
+        self._close_data_episode(now)
+        self._current_code = None
+        self._current_data = None
+        self.detach()
+        self._shrink_stack_block()
+        return Profile(
+            program=self.machine.program,
+            blocks=self._stats,
+            total_cycles=self.machine.cpu.stats.cycles,
+            total_instructions=self.machine.cpu.stats.instructions,
+            source_name=self.machine.program.source_name,
+        )
+
+
+    def _shrink_stack_block(self):
+        """Resize the Stack block to its observed footprint.
+
+        The stack *window* is large (tens of KB of address space), but
+        the paper maps the stack by its measured footprint (Table I's
+        "maximum stack size needed").  Shrinking to the low-watermark,
+        rounded up to 64 bytes, makes the Stack block a realistic SPM
+        mapping candidate while still covering every touched address.
+        """
+        stack_stats = self._stats.get(STACK_BLOCK_NAME)
+        if stack_stats is None or self._stack_low is None:
+            return
+        top = stack_stats.block.home_end
+        footprint = top - self._stack_low
+        footprint = (footprint + 63) // 64 * 64
+        stack_stats.block = ProgramBlock(
+            name=stack_stats.block.name,
+            kind=stack_stats.block.kind,
+            home_start=top - footprint,
+            size=footprint,
+        )
+
+
+def profile_program(program, config=None, max_instructions=None):
+    """Run ``program`` once on the profiling platform and profile it.
+
+    ``config`` defaults to the pure-SRAM baseline with an empty transfer
+    schedule (every access through the cache), mirroring the paper's
+    platform-neutral static profiling step.
+    """
+    config = config or baseline_sram_config()
+    machine = Machine(program, config)
+    profiler = Profiler(machine).attach()
+    if max_instructions is None:
+        machine.run()
+    else:
+        machine.run(max_instructions=max_instructions)
+    return profiler.finish()

@@ -1,0 +1,44 @@
+"""Rendering of profiles as Table I-style text tables."""
+
+from __future__ import annotations
+
+from .blocks import BlockKind
+
+_COLUMNS = (
+    ("Block Name", lambda s: s.name),
+    ("Reads", lambda s: "{:,}".format(s.reads)),
+    ("Writes", lambda s: "{:,}".format(s.writes)),
+    ("Avg Reads/Ref", lambda s: "{:,.0f}".format(s.avg_reads_per_reference)),
+    ("Avg Writes/Ref", lambda s: "{:,.0f}".format(s.avg_writes_per_reference)),
+    ("Stack Calls", lambda s: "{:,}".format(s.stack_calls)
+     if s.kind is BlockKind.CODE else "0"),
+    ("Max Stack (B)", lambda s: "{:,}".format(s.max_stack_bytes)
+     if s.kind is BlockKind.CODE else "0"),
+    ("Life-Time (Cycles)", lambda s: "{:,}".format(s.life_time)),
+)
+
+
+def format_profile_table(profile, title=None):
+    """Render a profile as the paper's Table I layout (ASCII)."""
+    rows = [[label for label, _ in _COLUMNS]]
+    ordering = {BlockKind.CODE: 0, BlockKind.DATA: 1, BlockKind.STACK: 2}
+    blocks = sorted(profile.blocks.values(),
+                    key=lambda s: (ordering[s.kind], s.block.home_start))
+    for stats in blocks:
+        rows.append([render(stats) for _, render in _COLUMNS])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(_COLUMNS))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(rows):
+        lines.append(" | ".join(
+            cell.rjust(width) if index else cell.ljust(width)
+            for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append(separator)
+    lines.append("")
+    lines.append("total: %s instructions, %s cycles" % (
+        "{:,}".format(profile.total_instructions),
+        "{:,}".format(profile.total_cycles)))
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Offline profiling from a recorded access trace.
+
+The live :class:`~repro.profile.profiler.Profiler` observes a running
+machine; this module rebuilds the same per-block statistics from a
+persisted :class:`~repro.workloads.traces.Trace` — the classic
+trace-driven methodology (capture once, analyse many times) FaCSim-style
+flows use.
+
+Timestamps: a trace carries no cycle counts, so life-times and ACE
+windows are measured in *record index* units.  Every consumer of these
+quantities (the MDA's susceptibility ordering, threshold ratios, the
+AVF's ACE fractions) uses them relatively, so the placement decisions
+from a trace profile match the live profile's; only the absolute cycle
+numbers differ.  Counts (reads, writes, references, stack calls via
+call-target fetches) are exact.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProfileError
+from .blocks import BlockKind, ProgramBlock, STACK_BLOCK_NAME, enumerate_blocks
+from .profiler import BlockStats, Profile, _IntervalIndex
+
+
+def profile_from_trace(trace, program, include_stack=True):
+    """Rebuild a :class:`Profile` from a recorded trace.
+
+    Stack calls cannot be recovered from a bare access trace (a ``bl``
+    is just a fetch), so a block's ``stack_calls`` is approximated by
+    the number of fetch episodes that *enter at its first instruction* —
+    exact for normal call-return control flow.
+    """
+    blocks = enumerate_blocks(program, include_stack=include_stack)
+    stats = {block.name: BlockStats(block) for block in blocks}
+    code_index = _IntervalIndex(
+        [b for b in blocks if b.kind is BlockKind.CODE])
+    data_index = _IntervalIndex(
+        [b for b in blocks if b.kind.is_data_like])
+
+    current_code = None
+    current_data = None
+    last_touch = {}
+    stack_low = None
+    fetches = 0
+
+    for position, record in enumerate(trace):
+        if record.is_fetch:
+            fetches += 1
+            block = code_index.lookup(record.address)
+            if block is None:
+                continue
+            entry = stats[block.name]
+            entry.reads += 1
+            _touch(entry, last_touch, position, is_write=False)
+            if current_code is not block:
+                current_code = block
+                entry.references += 1
+                if record.address == block.home_start:
+                    entry.stack_calls += 1
+        else:
+            block = data_index.lookup(record.address)
+            if block is None:
+                continue
+            if block.kind is BlockKind.STACK and (
+                    stack_low is None or record.address < stack_low):
+                stack_low = record.address
+            entry = stats[block.name]
+            if record.is_write:
+                entry.writes += 1
+            else:
+                entry.reads += 1
+            _touch(entry, last_touch, position, is_write=record.is_write)
+            if current_data is not block:
+                current_data = block
+                entry.references += 1
+
+    _shrink_stack(stats, stack_low)
+    return Profile(
+        program=program,
+        blocks=stats,
+        total_cycles=len(trace),  # record-index time base
+        total_instructions=fetches,
+        source_name=trace.name,
+    )
+
+
+def _touch(entry, last_touch, position, is_write):
+    if entry.first_touch_cycle is None:
+        entry.first_touch_cycle = position
+    entry.last_touch_cycle = position
+    previous = last_touch.get(entry.name)
+    if not is_write and previous is not None:
+        entry.ace_cycles += position - previous
+    last_touch[entry.name] = position
+
+
+def _shrink_stack(stats, stack_low):
+    entry = stats.get(STACK_BLOCK_NAME)
+    if entry is None or stack_low is None:
+        return
+    top = entry.block.home_end
+    footprint = (top - stack_low + 63) // 64 * 64
+    entry.block = ProgramBlock(
+        name=entry.block.name,
+        kind=entry.block.kind,
+        home_start=top - footprint,
+        size=footprint,
+    )

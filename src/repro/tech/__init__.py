@@ -1,0 +1,32 @@
+"""Technology models: the NVSim / Synopsys Design Compiler substitutes.
+
+:mod:`repro.tech.params` holds per-node, per-technology constants;
+:mod:`repro.tech.nvsim_lite` turns (technology, capacity, protection) into
+per-access energy, leakage power, and area, calibrated so the paper's
+reported static powers (7.1 / 15.8 / 3 mW for FTSPM / pure SRAM / pure
+STT-RAM at the Table IV geometry) are reproduced exactly;
+:mod:`repro.tech.ecc_circuit` models the parity and SEC-DED codec
+circuits at gate level.
+"""
+
+from .params import (
+    TECHNOLOGY_NODES,
+    NodeParams,
+    node_params,
+    redundancy_factor,
+)
+from .nvsim_lite import ArrayEstimate, ArrayModel, energy_models_for
+from .ecc_circuit import CodecEstimate, parity_codec, secded_codec
+
+__all__ = [
+    "TECHNOLOGY_NODES",
+    "NodeParams",
+    "node_params",
+    "redundancy_factor",
+    "ArrayEstimate",
+    "ArrayModel",
+    "energy_models_for",
+    "CodecEstimate",
+    "parity_codec",
+    "secded_codec",
+]

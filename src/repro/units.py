@@ -1,0 +1,142 @@
+"""Unit helpers and conversions used throughout the reproduction.
+
+All internal bookkeeping uses base SI units: energy in joules, power in
+watts, time in seconds, capacity in bytes.  These helpers exist so that
+configuration code reads like the paper ("2 KB parity region", "0.5 nJ per
+write") instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+# --- capacity -------------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+
+
+def kilobytes(n):
+    """Return ``n`` binary kilobytes in bytes."""
+    return int(n * KB)
+
+
+# --- time -----------------------------------------------------------------
+
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+
+def nanoseconds(n):
+    """Return ``n`` nanoseconds in seconds."""
+    return n * NANOSECOND
+
+
+# --- energy / power -------------------------------------------------------
+
+JOULE = 1.0
+MILLIJOULE = 1e-3
+MICROJOULE = 1e-6
+NANOJOULE = 1e-9
+PICOJOULE = 1e-12
+
+WATT = 1.0
+MILLIWATT = 1e-3
+MICROWATT = 1e-6
+
+
+def picojoules(n):
+    """Return ``n`` picojoules in joules."""
+    return n * PICOJOULE
+
+
+def nanojoules(n):
+    """Return ``n`` nanojoules in joules."""
+    return n * NANOJOULE
+
+
+def milliwatts(n):
+    """Return ``n`` milliwatts in watts."""
+    return n * MILLIWATT
+
+
+# --- pretty-printing ------------------------------------------------------
+
+_TIME_SCALES = (
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "us"),
+    (1e-9, "ns"),
+)
+
+_ENERGY_SCALES = (
+    (1.0, "J"),
+    (1e-3, "mJ"),
+    (1e-6, "uJ"),
+    (1e-9, "nJ"),
+    (1e-12, "pJ"),
+)
+
+_POWER_SCALES = (
+    (1.0, "W"),
+    (1e-3, "mW"),
+    (1e-6, "uW"),
+    (1e-9, "nW"),
+)
+
+
+def _format_scaled(value, scales, digits):
+    if value == 0:
+        return "0 %s" % scales[0][1]
+    magnitude = abs(value)
+    for scale, suffix in scales:
+        if magnitude >= scale:
+            return "%.*f %s" % (digits, value / scale, suffix)
+    scale, suffix = scales[-1]
+    return "%.*f %s" % (digits, value / scale, suffix)
+
+
+def format_time(seconds, digits=2):
+    """Render a duration in seconds with a human-friendly suffix."""
+    return _format_scaled(seconds, _TIME_SCALES, digits)
+
+
+def format_energy(joules, digits=2):
+    """Render an energy in joules with a human-friendly suffix."""
+    return _format_scaled(joules, _ENERGY_SCALES, digits)
+
+
+def format_power(watts, digits=2):
+    """Render a power in watts with a human-friendly suffix."""
+    return _format_scaled(watts, _POWER_SCALES, digits)
+
+
+def format_bytes(n):
+    """Render a byte count using binary units (e.g. ``16 KB``)."""
+    if n % MB == 0 and n >= MB:
+        return "%d MB" % (n // MB)
+    if n % KB == 0 and n >= KB:
+        return "%d KB" % (n // KB)
+    return "%d B" % n
+
+
+def format_lifetime(seconds):
+    """Render a device lifetime the way Table III of the paper does.
+
+    The paper reports wear-out horizons as "~40 Minutes", "~61 Days",
+    "~1.5 Years", so this helper picks the largest calendar unit that
+    keeps the value above one.
+    """
+    minute = 60.0
+    hour = 60 * minute
+    day = 24 * hour
+    year = 365 * day
+    if seconds >= year:
+        return "~%.1f years" % (seconds / year)
+    if seconds >= day:
+        return "~%.1f days" % (seconds / day)
+    if seconds >= hour:
+        return "~%.1f hours" % (seconds / hour)
+    if seconds >= minute:
+        return "~%.1f minutes" % (seconds / minute)
+    return "~%.1f seconds" % seconds

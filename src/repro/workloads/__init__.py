@@ -1,0 +1,54 @@
+"""Workloads: the case-study program, real kernels, and a MiBench-like suite.
+
+Three tiers, all producing :class:`~repro.profile.Profile` objects the
+mapping algorithm and evaluation consume:
+
+* :mod:`case_study` — the paper's Section IV program (Algorithm 2):
+  array multiplies/adds plus an in-function recursive quicksort, written
+  in the ARM-like ISA and actually executed,
+* :mod:`kernels` — additional real assembly kernels (crc32, bitcount,
+  string search, matrix multiply, dijkstra) executed on the simulator,
+* :mod:`synthetic` — characterised statistical workload models for the
+  full MiBench sweep (Figs. 4–8), each emitting a block-level profile
+  with documented read/write mixes and working sets.
+"""
+
+from .case_study import (
+    CASE_STUDY_BLOCKS,
+    case_study_program,
+    case_study_source,
+)
+from .kernels import KERNELS, kernel_names, kernel_program
+from .synthetic import (
+    MIBENCH_SUITE,
+    SyntheticBenchmark,
+    SyntheticBlockSpec,
+    mibench_names,
+    synthetic_profile,
+)
+from .traces import (
+    Trace,
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayer,
+    record_trace,
+)
+
+__all__ = [
+    "CASE_STUDY_BLOCKS",
+    "case_study_program",
+    "case_study_source",
+    "KERNELS",
+    "kernel_names",
+    "kernel_program",
+    "MIBENCH_SUITE",
+    "SyntheticBenchmark",
+    "SyntheticBlockSpec",
+    "mibench_names",
+    "synthetic_profile",
+    "Trace",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+    "record_trace",
+]

@@ -1,0 +1,185 @@
+"""The paper's Section IV case study (Algorithm 2), in our ISA.
+
+The program mirrors Algorithm 2: four arrays, two multiply passes, two
+add passes per outer iteration, and a quicksort of Array1 at the end.
+As in the paper, the quicksort is a *library* routine — its code lives
+inside ``main``'s block (so Table I shows only ``Main``, ``Mul``, ``Add``
+as code blocks), and its recursion is what drives ``Main``'s large
+stack-call count and stack footprint.
+
+Access-pattern shape mirrors Table I:
+
+* ``Array1`` and ``Array3`` are the write-intensive destinations,
+* ``Array2`` and ``Array4`` are written only during initialisation
+  (the paper's ~484 writes) and read thereafter,
+* the ``Stack`` block is exercised by the quicksort recursion.
+
+``array_words`` and ``outer_iterations`` scale the run so tests stay
+fast while benchmarks use paper-like 2 KB arrays.
+"""
+
+from __future__ import annotations
+
+from ..isa import assemble
+
+#: canonical block names, matching Table I capitalisation
+CASE_STUDY_BLOCKS = (
+    "Main", "Mul", "Add", "Array1", "Array2", "Array3", "Array4", "Stack",
+)
+
+_TEMPLATE = """
+        ; FTSPM case study (Algorithm 2): muls, adds, quicksort(Array1)
+        .text
+        .entry Main
+
+        .func Main
+Main:
+        ; ---- initialise the four arrays ----
+        ldr r1, =Array1
+        ldr r2, =Array2
+        ldr r3, =Array3
+        ldr r4, =Array4
+        mov r0, #0
+        mov r6, #7
+init_loop:
+        lsr r5, r0, #2
+        mul r7, r5, r6
+        add r7, r7, #3          ; A1[i] = 7*i + 3
+        str r7, [r1, r0]
+        eor r8, r7, #25
+        add r8, r8, #1          ; A2[i] = (A1[i] ^ 25) + 1
+        str r8, [r2, r0]
+        rsb r7, r5, #1000       ; A3[i] = 1000 - i
+        str r7, [r3, r0]
+        orr r8, r5, #5          ; A4[i] = i | 5
+        str r8, [r4, r0]
+        add r0, r0, #4
+        cmp r0, #{array_bytes}
+        blt init_loop
+
+        ; ---- outer compute loop: 2 muls + 2 adds per iteration ----
+        mov r9, #0
+outer_loop:
+        ldr r0, =Array1
+        ldr r1, =Array2
+        bl Mul
+        ldr r0, =Array3
+        ldr r1, =Array4
+        bl Add
+        ldr r0, =Array1
+        ldr r1, =Array4
+        bl Mul
+        ldr r0, =Array3
+        ldr r1, =Array2
+        bl Add
+        add r9, r9, #1
+        cmp r9, #{outer_iterations}
+        blt outer_loop
+
+        ; ---- quicksort(Array1): library code inside Main's block ----
+        ldr r2, =Array1
+        mov r0, #0
+        mov r1, #{last_offset}
+        bl qsort
+        halt
+
+        ; recursive quicksort; r0 = lo byte offset, r1 = hi byte offset,
+        ; r2 = array base (preserved across calls)
+qsort:
+        cmp r0, r1
+        bge qsort_leaf
+        push {{r4-r8, lr}}
+        mov r4, r0              ; lo
+        mov r5, r1              ; hi
+        ldr r3, [r2, r5]        ; pivot = A[hi]
+        sub r6, r4, #4          ; i = lo - 1
+        mov r7, r4              ; j = lo
+qsort_partition:
+        cmp r7, r5
+        bge qsort_place_pivot
+        ldr r8, [r2, r7]
+        cmp r8, r3
+        bgt qsort_skip
+        add r6, r6, #4
+        ldr r0, [r2, r6]
+        str r8, [r2, r6]
+        str r0, [r2, r7]
+qsort_skip:
+        add r7, r7, #4
+        b qsort_partition
+qsort_place_pivot:
+        add r6, r6, #4
+        ldr r0, [r2, r6]
+        ldr r1, [r2, r5]
+        str r1, [r2, r6]
+        str r0, [r2, r5]
+        mov r0, r4              ; recurse left: qsort(lo, p - 1)
+        sub r1, r6, #4
+        bl qsort
+        add r0, r6, #4          ; recurse right: qsort(p + 1, hi)
+        mov r1, r5
+        bl qsort
+        pop {{r4-r8, pc}}
+qsort_leaf:
+        bx lr
+        .endfunc
+
+        ; Mul: dst[i] = (dst[i] * src[i]) | 1      (r0 = dst, r1 = src)
+        .func Mul
+Mul:
+        mov r2, #0
+mul_loop:
+        ldr r3, [r0, r2]
+        ldr r4, [r1, r2]
+        mul r3, r3, r4
+        orr r3, r3, #1
+        str r3, [r0, r2]
+        add r2, r2, #4
+        cmp r2, #{array_bytes}
+        blt mul_loop
+        bx lr
+        .endfunc
+
+        ; Add: dst[i] = dst[i] + src[i]            (r0 = dst, r1 = src)
+        .func Add
+Add:
+        mov r2, #0
+add_loop:
+        ldr r3, [r0, r2]
+        ldr r4, [r1, r2]
+        add r3, r3, r4
+        str r3, [r0, r2]
+        add r2, r2, #4
+        cmp r2, #{array_bytes}
+        blt add_loop
+        bx lr
+        .endfunc
+
+        .data
+Array1: .space {array_bytes}
+Array2: .space {array_bytes}
+Array3: .space {array_bytes}
+Array4: .space {array_bytes}
+"""
+
+
+def case_study_source(array_words=512, outer_iterations=8):
+    """Assembly source of the case study.
+
+    The defaults give the paper's "about 2 KB" arrays; pass smaller
+    values (e.g. 64 words) for fast unit tests.
+    """
+    array_bytes = array_words * 4
+    return _TEMPLATE.format(
+        array_bytes=array_bytes,
+        outer_iterations=outer_iterations,
+        last_offset=array_bytes - 4,
+    )
+
+
+def case_study_program(array_words=512, outer_iterations=8):
+    """Assembled case-study program."""
+    return assemble(
+        case_study_source(array_words, outer_iterations),
+        name="case-study",
+    )

@@ -1,0 +1,617 @@
+"""Real assembly kernels, executed on the simulator end to end.
+
+Five MiBench-flavoured kernels written in the ARM-like ISA.  Each kernel
+computes a result that is independently recomputed in Python, so tests
+can verify the *entire* substrate (assembler, CPU, memory hierarchy)
+functionally, and the profiler/mapper pipeline runs on genuinely
+measured traces.
+
+Every kernel builder returns a :class:`KernelBuild`: the assembled
+program plus a ``{symbol: expected_word}`` map of golden results.
+"""
+
+from __future__ import annotations
+
+import binascii
+import random
+from dataclasses import dataclass
+
+from ..errors import ProfileError
+from ..isa import assemble
+
+_MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class KernelBuild:
+    """An assembled kernel plus its golden results."""
+
+    name: str
+    program: object
+    expected: dict  # symbol name -> expected 32-bit word
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Registry entry for one kernel."""
+
+    name: str
+    description: str
+    builder: object  # callable(scale) -> KernelBuild
+
+
+def _words_directive(values, per_line=8):
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        lines.append("        .word " + ", ".join(
+            str(v & _MASK32) for v in chunk))
+    return "\n".join(lines)
+
+
+def _bytes_directive(values, per_line=16):
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        lines.append("        .byte " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+# --- crc32 ---------------------------------------------------------------------
+
+def _crc_table():
+    table = []
+    for n in range(256):
+        c = n
+        for _ in range(8):
+            c = (0xEDB88320 ^ (c >> 1)) if c & 1 else c >> 1
+        table.append(c)
+    return table
+
+
+def _build_crc32(scale=1):
+    rng = random.Random(0xC3C32)
+    buffer_len = 1024 * scale
+    data = bytes(rng.randrange(256) for _ in range(buffer_len))
+    expected = binascii.crc32(data) & _MASK32
+    source = """
+        .text
+        .entry main
+        .func main
+main:
+        ldr r10, =crc_table
+        ldr r9, =stream_buffer
+        mov r8, #0
+        mvn r0, #0              ; crc = 0xFFFFFFFF
+crc_loop:
+        ldrb r1, [r9, r8]
+        eor r2, r0, r1
+        and r2, r2, #255
+        lsl r2, r2, #2
+        ldr r3, [r10, r2]
+        lsr r0, r0, #8
+        eor r0, r0, r3
+        add r8, r8, #1
+        cmp r8, #{buffer_len}
+        blt crc_loop
+        mvn r0, r0
+        ldr r4, =crc_result
+        str r0, [r4]
+        halt
+        .endfunc
+
+        .data
+crc_table:
+{table_words}
+stream_buffer:
+{buffer_bytes}
+        .align 4
+crc_result: .word 0
+""".format(buffer_len=buffer_len,
+           table_words=_words_directive(_crc_table()),
+           buffer_bytes=_bytes_directive(list(data)))
+    return KernelBuild("crc32", assemble(source, name="crc32"),
+                       {"crc_result": expected})
+
+
+# --- bitcount -------------------------------------------------------------------
+
+def _build_bitcount(scale=1):
+    rng = random.Random(0xB17C)
+    num_words = 256 * scale
+    words = [rng.getrandbits(32) for _ in range(num_words)]
+    expected = sum(bin(w).count("1") for w in words)
+    source = """
+        .text
+        .entry main
+        .func main
+main:
+        ldr r9, =input_words
+        mov r8, #0
+        mov r7, #0              ; running total
+bc_loop:
+        ldr r0, [r9, r8]
+        bl popcount
+        add r7, r7, r0
+        add r8, r8, #4
+        cmp r8, #{input_bytes}
+        blt bc_loop
+        ldr r4, =bit_total
+        str r7, [r4]
+        halt
+        .endfunc
+
+        ; Kernighan bit-clearing popcount; r0 = word -> r0 = count
+        .func popcount
+popcount:
+        mov r1, #0
+pc_loop:
+        cmp r0, #0
+        beq pc_done
+        sub r2, r0, #1
+        and r0, r0, r2
+        add r1, r1, #1
+        b pc_loop
+pc_done:
+        mov r0, r1
+        bx lr
+        .endfunc
+
+        .data
+input_words:
+{input_words}
+bit_total: .word 0
+""".format(input_bytes=num_words * 4,
+           input_words=_words_directive(words))
+    return KernelBuild("bitcount", assemble(source, name="bitcount"),
+                       {"bit_total": expected})
+
+
+# --- stringsearch ----------------------------------------------------------------
+
+def _build_stringsearch(scale=1):
+    rng = random.Random(0x57312)
+    text_len = 1536 * scale
+    alphabet = b"abcdefgh"
+    text = bytes(rng.choice(alphabet) for _ in range(text_len))
+    pattern = b"abcab"
+    expected = sum(
+        1 for i in range(text_len - len(pattern) + 1)
+        if text[i:i + len(pattern)] == pattern)
+    source = """
+        .text
+        .entry main
+        .func main
+main:
+        ldr r10, =search_text
+        ldr r9, =pattern
+        mov r8, #0              ; position
+        mov r7, #0              ; match count
+ss_outer:
+        mov r6, #0              ; j
+ss_inner:
+        cmp r6, #{pattern_len}
+        bge ss_match
+        add r5, r8, r6
+        ldrb r0, [r10, r5]
+        ldrb r1, [r9, r6]
+        cmp r0, r1
+        bne ss_next
+        add r6, r6, #1
+        b ss_inner
+ss_match:
+        add r7, r7, #1
+ss_next:
+        add r8, r8, #1
+        cmp r8, #{last_position}
+        ble ss_outer
+        ldr r4, =match_count
+        str r7, [r4]
+        halt
+        .endfunc
+
+        .data
+search_text:
+{text_bytes}
+        .align 4
+pattern:
+{pattern_bytes}
+        .align 4
+match_count: .word 0
+""".format(pattern_len=len(pattern),
+           last_position=text_len - len(pattern),
+           text_bytes=_bytes_directive(list(text)),
+           pattern_bytes=_bytes_directive(list(pattern)))
+    return KernelBuild("stringsearch",
+                       assemble(source, name="stringsearch"),
+                       {"match_count": expected})
+
+
+# --- matmul ----------------------------------------------------------------------
+
+def _build_matmul(scale=1):
+    rng = random.Random(0x3A73)
+    n = 12 + 4 * (scale - 1)
+    a = [[rng.randrange(-50, 50) for _ in range(n)] for _ in range(n)]
+    b = [[rng.randrange(-50, 50) for _ in range(n)] for _ in range(n)]
+    c = [[sum(a[i][k] * b[k][j] for k in range(n)) & _MASK32
+          for j in range(n)] for i in range(n)]
+    checksum = 0
+    for i in range(n):
+        for j in range(n):
+            checksum = (checksum + c[i][j]) & _MASK32
+    flat = lambda m: [m[i][j] for i in range(n) for j in range(n)]
+    source = """
+        .text
+        .entry main
+        .func main
+main:
+        ldr r10, =matrix_a
+        ldr r9, =matrix_b
+        ldr r8, =matrix_c
+        mov r7, #0              ; i (row index)
+mm_i:
+        mov r6, #0              ; j (column index)
+mm_j:
+        mov r5, #0              ; k
+        mov r4, #0              ; accumulator
+mm_k:
+        ; a[i][k]: offset = (i*n + k) * 4
+        mov r0, #{n}
+        mla r1, r7, r0, r5
+        lsl r1, r1, #2
+        ldr r2, [r10, r1]
+        ; b[k][j]
+        mla r1, r5, r0, r6
+        lsl r1, r1, #2
+        ldr r3, [r9, r1]
+        mla r4, r2, r3, r4
+        add r5, r5, #1
+        cmp r5, #{n}
+        blt mm_k
+        ; c[i][j] = acc
+        mla r1, r7, r0, r6
+        lsl r1, r1, #2
+        str r4, [r8, r1]
+        add r6, r6, #1
+        cmp r6, #{n}
+        blt mm_j
+        add r7, r7, #1
+        cmp r7, #{n}
+        blt mm_i
+
+        ; checksum C
+        mov r7, #0              ; flat index (bytes)
+        mov r4, #0
+mm_sum:
+        ldr r2, [r8, r7]
+        add r4, r4, r2
+        add r7, r7, #4
+        cmp r7, #{c_bytes}
+        blt mm_sum
+        ldr r0, =matmul_checksum
+        str r4, [r0]
+        halt
+        .endfunc
+
+        .data
+matrix_a:
+{a_words}
+matrix_b:
+{b_words}
+matrix_c:
+        .space {c_bytes}
+matmul_checksum: .word 0
+""".format(n=n, c_bytes=n * n * 4,
+           a_words=_words_directive(flat(a)),
+           b_words=_words_directive(flat(b)))
+    return KernelBuild("matmul", assemble(source, name="matmul"),
+                       {"matmul_checksum": checksum})
+
+
+# --- dijkstra ----------------------------------------------------------------------
+
+_INFINITY = 0x3FFFFFFF
+
+
+def _build_dijkstra(scale=1):
+    rng = random.Random(0xD1357)
+    n = 16 + 8 * (scale - 1)
+    adjacency = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < 0.35:
+                adjacency[i][j] = rng.randrange(1, 40)
+    # Golden Dijkstra from node 0.
+    dist = [_INFINITY] * n
+    dist[0] = 0
+    visited = [False] * n
+    for _ in range(n):
+        best, best_d = -1, _INFINITY
+        for j in range(n):
+            if not visited[j] and dist[j] < best_d:
+                best, best_d = j, dist[j]
+        if best < 0:
+            break
+        visited[best] = True
+        for j in range(n):
+            w = adjacency[best][j]
+            if w and dist[best] + w < dist[j]:
+                dist[j] = dist[best] + w
+    checksum = sum(dist) & _MASK32
+    flat = [adjacency[i][j] for i in range(n) for j in range(n)]
+    source = """
+        .text
+        .entry main
+        .func main
+main:
+        ldr r10, =adjacency
+        ldr r9, =distances
+        ldr r8, =visited
+        ; init: dist[j] = INF, dist[0] = 0, visited[j] = 0
+        mov r0, #0
+        mov r1, #{infinity}
+dj_init:
+        str r1, [r9, r0]
+        mov r2, #0
+        str r2, [r8, r0]
+        add r0, r0, #4
+        cmp r0, #{n_bytes}
+        blt dj_init
+        mov r2, #0
+        str r2, [r9]            ; dist[0] = 0
+
+        mov r12, #0             ; outer iteration counter
+dj_outer:
+        ; select the unvisited node with the smallest distance
+        mov r0, #{n_bytes}      ; best offset (sentinel = n_bytes)
+        mov r1, #{infinity}     ; best distance
+        mov r2, #0              ; scan offset
+dj_find:
+        ldr r3, [r8, r2]
+        cmp r3, #0
+        bne dj_find_next
+        ldr r4, [r9, r2]
+        cmp r4, r1
+        bge dj_find_next
+        mov r1, r4
+        mov r0, r2
+dj_find_next:
+        add r2, r2, #4
+        cmp r2, #{n_bytes}
+        blt dj_find
+        cmp r0, #{n_bytes}
+        beq dj_done             ; no reachable unvisited node left
+
+        ; mark visited and relax its outgoing edges
+        mov r3, #1
+        str r3, [r8, r0]
+        mov r5, #{n}
+        mul r6, r0, r5          ; row byte offset = (4*i) * n
+        add r6, r10, r6         ; row pointer
+        ldr r11, [r9, r0]       ; dist[best]
+        mov r2, #0              ; neighbour offset
+dj_relax:
+        ldr r3, [r6, r2]        ; w = adj[best][j]
+        cmp r3, #0
+        beq dj_relax_next
+        ldr r4, [r9, r2]        ; dist[j]
+        add r5, r11, r3
+        cmp r5, r4
+        bge dj_relax_next
+        str r5, [r9, r2]
+dj_relax_next:
+        add r2, r2, #4
+        cmp r2, #{n_bytes}
+        blt dj_relax
+
+        add r12, r12, #1
+        cmp r12, #{n}
+        blt dj_outer
+dj_done:
+        ; checksum the distance vector
+        mov r0, #0
+        mov r4, #0
+dj_sum:
+        ldr r2, [r9, r0]
+        add r4, r4, r2
+        add r0, r0, #4
+        cmp r0, #{n_bytes}
+        blt dj_sum
+        ldr r1, =dijkstra_checksum
+        str r4, [r1]
+        halt
+        .endfunc
+
+        .data
+adjacency:
+{adjacency_words}
+distances:
+        .space {n_bytes}
+visited:
+        .space {n_bytes}
+dijkstra_checksum: .word 0
+""".format(n=n, n_bytes=n * 4, infinity=_INFINITY,
+           adjacency_words=_words_directive(flat))
+    return KernelBuild("dijkstra", assemble(source, name="dijkstra"),
+                       {"dijkstra_checksum": checksum})
+
+
+# --- fir --------------------------------------------------------------------------
+
+def _build_fir(scale=1):
+    rng = random.Random(0xF13)
+    num_samples = 384 * scale
+    num_taps = 16
+    samples = [rng.randrange(-100, 100) for _ in range(num_samples)]
+    taps = [rng.randrange(-8, 8) for _ in range(num_taps)]
+    outputs = []
+    for n in range(num_samples):
+        acc = 0
+        for k in range(num_taps):
+            if n - k >= 0:
+                acc += taps[k] * samples[n - k]
+        outputs.append(acc & _MASK32)
+    checksum = 0
+    for value in outputs:
+        checksum = (checksum + value) & _MASK32
+    source = """
+        .text
+        .entry main
+        .func main
+main:
+        ldr r10, =samples
+        ldr r9, =taps
+        ldr r8, =outputs
+        mov r7, #0              ; n (sample index)
+fir_n:
+        mov r6, #0              ; k (tap index)
+        mov r5, #0              ; accumulator
+fir_k:
+        sub r4, r7, r6          ; n - k
+        cmp r4, #0
+        blt fir_tap_done
+        lsl r4, r4, #2
+        ldr r2, [r10, r4]       ; x[n-k]
+        lsl r3, r6, #2
+        ldr r1, [r9, r3]        ; h[k]
+        mla r5, r1, r2, r5
+fir_tap_done:
+        add r6, r6, #1
+        cmp r6, #{num_taps}
+        blt fir_k
+        lsl r4, r7, #2
+        str r5, [r8, r4]        ; y[n] = acc
+        add r7, r7, #1
+        cmp r7, #{num_samples}
+        blt fir_n
+
+        ; checksum the output vector
+        mov r7, #0
+        mov r5, #0
+fir_sum:
+        ldr r2, [r8, r7]
+        add r5, r5, r2
+        add r7, r7, #4
+        cmp r7, #{output_bytes}
+        blt fir_sum
+        ldr r0, =fir_checksum
+        str r5, [r0]
+        halt
+        .endfunc
+
+        .data
+samples:
+{sample_words}
+taps:
+{tap_words}
+outputs:
+        .space {output_bytes}
+fir_checksum: .word 0
+""".format(num_taps=num_taps, num_samples=num_samples,
+           output_bytes=num_samples * 4,
+           sample_words=_words_directive(samples),
+           tap_words=_words_directive(taps))
+    return KernelBuild("fir", assemble(source, name="fir"),
+                       {"fir_checksum": checksum})
+
+
+# --- histogram ---------------------------------------------------------------------
+
+def _build_histogram(scale=1):
+    rng = random.Random(0x4157)
+    buffer_len = 1536 * scale
+    data = bytes(rng.randrange(256) for _ in range(buffer_len))
+    buckets = [0] * 64
+    for value in data:
+        buckets[value % 64] += 1
+    checksum = 0
+    for index, count in enumerate(buckets):
+        checksum = (checksum + count * (index + 1)) & _MASK32
+    source = """
+        .text
+        .entry main
+        .func main
+main:
+        ldr r10, =input_bytes
+        ldr r9, =buckets
+        mov r8, #0
+hist_loop:
+        ldrb r0, [r10, r8]
+        and r0, r0, #63         ; bucket = byte % 64
+        lsl r0, r0, #2
+        ldr r1, [r9, r0]
+        add r1, r1, #1
+        str r1, [r9, r0]
+        add r8, r8, #1
+        cmp r8, #{buffer_len}
+        blt hist_loop
+
+        ; weighted checksum: sum (index+1) * buckets[index]
+        mov r8, #0              ; byte offset
+        mov r7, #1              ; index + 1
+        mov r5, #0
+hist_sum:
+        ldr r1, [r9, r8]
+        mla r5, r1, r7, r5
+        add r8, r8, #4
+        add r7, r7, #1
+        cmp r8, #256
+        blt hist_sum
+        ldr r0, =hist_checksum
+        str r5, [r0]
+        halt
+        .endfunc
+
+        .data
+input_bytes:
+{buffer_bytes}
+        .align 4
+buckets:
+        .space 256
+hist_checksum: .word 0
+""".format(buffer_len=buffer_len,
+           buffer_bytes=_bytes_directive(list(data)))
+    return KernelBuild("histogram", assemble(source, name="histogram"),
+                       {"hist_checksum": checksum})
+
+
+# --- registry -----------------------------------------------------------------------
+
+KERNELS = {
+    "crc32": KernelSpec(
+        "crc32", "table-driven CRC-32 over a pseudo-random stream",
+        _build_crc32),
+    "bitcount": KernelSpec(
+        "bitcount", "Kernighan popcount over random words", _build_bitcount),
+    "stringsearch": KernelSpec(
+        "stringsearch", "naive pattern search over generated text",
+        _build_stringsearch),
+    "matmul": KernelSpec(
+        "matmul", "dense integer matrix multiply with checksum",
+        _build_matmul),
+    "dijkstra": KernelSpec(
+        "dijkstra", "O(n^2) Dijkstra over a random adjacency matrix",
+        _build_dijkstra),
+    "fir": KernelSpec(
+        "fir", "16-tap FIR filter over a signed sample stream",
+        _build_fir),
+    "histogram": KernelSpec(
+        "histogram", "64-bucket byte histogram with weighted checksum",
+        _build_histogram),
+}
+
+
+def kernel_names():
+    return sorted(KERNELS)
+
+
+def kernel_program(name, scale=1):
+    """Build the named kernel; returns a :class:`KernelBuild`."""
+    try:
+        spec = KERNELS[name]
+    except KeyError:
+        raise ProfileError(
+            "unknown kernel %r (available: %s)"
+            % (name, ", ".join(kernel_names()))) from None
+    return spec.builder(scale)

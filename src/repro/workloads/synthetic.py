@@ -1,0 +1,467 @@
+"""Characterised MiBench-like workload models (profile-level substitutes).
+
+The paper's sweep (Figs. 4–8) runs the MiBench suite on FaCSim.  Real
+MiBench binaries and ARM traces are unavailable offline, so each suite
+entry here is a **statistical workload model**: a set of program blocks
+with read/write volumes, reference counts, life-times, ACE fractions,
+and stack behaviour chosen to match the benchmark's published character
+(e.g. ``crc32`` streams a read-only buffer; ``susan`` reads a large
+image and writes a smaller output; ``sha`` hammers a small state block).
+A model expands into exactly the same :class:`~repro.profile.Profile`
+structure the trace-driven profiler produces, so the mapping algorithm
+and every evaluation pipeline treat real and synthetic workloads
+identically.  Real executed kernels (:mod:`repro.workloads.kernels`)
+cross-validate the pipeline end to end.
+
+Block sizes are in bytes; ``reads``/``writes`` are access counts over
+the whole run; ``lifetime`` and ``ace`` are fractions of total cycles.
+The overall suite read:write mix is roughly 4:1, in line with embedded
+integer workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProfileError
+from ..isa.program import DATA_BASE, STACK_TOP, TEXT_BASE
+from ..profile.blocks import BlockKind, ProgramBlock, STACK_BLOCK_NAME
+from ..profile.profiler import BlockStats, Profile
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class SyntheticBlockSpec:
+    """One block of a synthetic workload model."""
+
+    name: str
+    kind: BlockKind
+    size: int
+    reads: int
+    writes: int
+    references: int
+    lifetime: float  # fraction of total cycles (first-to-last touch span)
+    ace: float  # ACE fraction of total cycles
+    stack_calls: int = 0
+    max_stack: int = 0
+    #: ratio of the hottest word's write count to the uniform average;
+    #: full simulation measures this, synthetic models declare it.
+    write_skew: float = 2.0
+
+
+@dataclass(frozen=True)
+class SyntheticBenchmark:
+    """A complete workload model that expands into a Profile."""
+
+    name: str
+    description: str
+    total_instructions: int
+    cpi: float
+    blocks: tuple
+
+    @property
+    def total_cycles(self):
+        return int(self.total_instructions * self.cpi)
+
+    def profile(self):
+        """Expand the model into a :class:`~repro.profile.Profile`."""
+        total_cycles = self.total_cycles
+        stats = {}
+        code_cursor = TEXT_BASE
+        data_cursor = DATA_BASE
+        for spec in self.blocks:
+            if spec.kind is BlockKind.CODE:
+                start = code_cursor
+                code_cursor += _round_up(spec.size, 4)
+            elif spec.kind is BlockKind.DATA:
+                start = data_cursor
+                data_cursor += _round_up(spec.size, 4)
+            else:
+                start = STACK_TOP - spec.size
+            block = ProgramBlock(spec.name, spec.kind, start, spec.size)
+            lifetime_cycles = int(spec.lifetime * total_cycles)
+            first = max(0, (total_cycles - lifetime_cycles) // 2)
+            entry = BlockStats(
+                block=block,
+                reads=spec.reads,
+                writes=spec.writes,
+                references=max(1, spec.references),
+                stack_calls=spec.stack_calls,
+                max_stack_bytes=spec.max_stack,
+                first_touch_cycle=first,
+                last_touch_cycle=first + lifetime_cycles,
+                active_cycles=int(lifetime_cycles * 0.8),
+                ace_cycles=int(spec.ace * total_cycles),
+                write_skew=spec.write_skew,
+            )
+            if entry.name in stats:
+                raise ProfileError(
+                    "duplicate block %r in %r" % (entry.name, self.name))
+            stats[entry.name] = entry
+        return Profile(
+            program=None,
+            blocks=stats,
+            total_cycles=total_cycles,
+            total_instructions=self.total_instructions,
+            source_name=self.name,
+        )
+
+    def write_skew_for(self, block_name):
+        for spec in self.blocks:
+            if spec.name == block_name:
+                return spec.write_skew
+        raise ProfileError("no block %r in %r" % (block_name, self.name))
+
+
+def _round_up(value, multiple):
+    return (value + multiple - 1) // multiple * multiple
+
+
+def _code(name, size, reads, references, lifetime, ace, calls=0, stack=0):
+    return SyntheticBlockSpec(
+        name=name, kind=BlockKind.CODE, size=size, reads=reads, writes=0,
+        references=references, lifetime=lifetime, ace=ace,
+        stack_calls=calls, max_stack=stack)
+
+
+def _data(name, size, reads, writes, references, lifetime, ace, skew=2.0):
+    return SyntheticBlockSpec(
+        name=name, kind=BlockKind.DATA, size=size, reads=reads,
+        writes=writes, references=references, lifetime=lifetime, ace=ace,
+        write_skew=skew)
+
+
+def _stack(size, reads, writes, references, lifetime, ace, skew=6.0):
+    return SyntheticBlockSpec(
+        name=STACK_BLOCK_NAME, kind=BlockKind.STACK, size=size, reads=reads,
+        writes=writes, references=references, lifetime=lifetime, ace=ace,
+        write_skew=skew)
+
+
+#: The MiBench-like sweep suite.  Volumes are scaled to ~1-5M instructions
+#: per benchmark; mixes and working sets follow each benchmark's published
+#: character (MiBench, WWC'01).
+MIBENCH_SUITE = {
+    "qsort": SyntheticBenchmark(
+        name="qsort",
+        description="quicksort over a string array: write-heavy data, "
+                    "deep recursion",
+        total_instructions=2_600_000,
+        cpi=1.6,
+        blocks=(
+            _code("qsort_main", 1_600, 640_000, 1_200, 0.98, 0.30,
+                  calls=52_000, stack=1_280),
+            _code("compare", 320, 380_000, 52_000, 0.92, 0.18),
+            _data("input_array", 2 * KB, 540_000, 260_000, 9_000,
+                  0.97, 0.40, skew=1.6),
+            _data("pivot_buffer", 1 * KB, 90_000, 42_000, 8_000,
+                  0.90, 0.12, skew=3.0),
+            _data("string_table", 4 * KB, 380_000, 1_500, 9_000,
+                  0.96, 0.38, skew=1.1),
+            _stack(1 * KB, 210_000, 175_000, 50_000, 0.95, 0.08, skew=8.0),
+        ),
+    ),
+    "susan": SyntheticBenchmark(
+        name="susan",
+        description="image smoothing/corner detection: large read-mostly "
+                    "input image, smaller write-heavy output",
+        total_instructions=4_200_000,
+        cpi=1.5,
+        blocks=(
+            _code("susan_core", 2_400, 1_150_000, 900, 0.99, 0.34,
+                  calls=4_200, stack=560),
+            _code("usan_area", 640, 520_000, 180_000, 0.95, 0.20),
+            _data("input_image", 10 * KB, 1_600_000, 14_000, 3_600,
+                  0.98, 0.55, skew=1.2),
+            _data("output_image", 2 * KB, 140_000, 320_000, 3_600,
+                  0.92, 0.35, skew=1.3),
+            _data("brightness_lut", 1 * KB, 420_000, 256, 2_000,
+                  0.96, 0.40, skew=1.0),
+            _stack(1 * KB, 36_000, 30_000, 4_200, 0.90, 0.04, skew=5.0),
+        ),
+    ),
+    "jpeg": SyntheticBenchmark(
+        name="jpeg",
+        description="JPEG encode: blocked DCT over an input frame with "
+                    "coefficient and huffman tables",
+        total_instructions=3_800_000,
+        cpi=1.7,
+        blocks=(
+            _code("jpeg_fdct", 1_920, 980_000, 21_000, 0.97, 0.28,
+                  calls=21_000, stack=480),
+            _code("huff_encode", 1_280, 610_000, 21_000, 0.94, 0.22),
+            _data("input_frame", 10 * KB, 900_000, 12_000, 21_000,
+                  0.97, 0.46, skew=1.2),
+            _data("dct_workspace", 2 * KB, 430_000, 410_000, 21_000,
+                  0.95, 0.22, skew=2.4),
+            _data("quant_tables", 512, 260_000, 128, 1_500, 0.96, 0.44,
+                  skew=1.0),
+            _data("output_stream", 1 * KB, 60_000, 190_000, 21_000,
+                  0.93, 0.25, skew=1.4),
+            _stack(1 * KB, 52_000, 44_000, 22_000, 0.92, 0.05),
+        ),
+    ),
+    "dijkstra": SyntheticBenchmark(
+        name="dijkstra",
+        description="shortest paths: read-mostly adjacency matrix, "
+                    "read/write distance and queue arrays",
+        total_instructions=3_100_000,
+        cpi=1.8,
+        blocks=(
+            _code("dijkstra_core", 1_280, 820_000, 620, 0.99, 0.32,
+                  calls=9_800, stack=320),
+            _code("enqueue", 384, 240_000, 48_000, 0.90, 0.14),
+            _data("adjacency", 10 * KB, 1_250_000, 2_560, 5_000,
+                  0.98, 0.58, skew=1.1),
+            _data("distances", 2 * KB, 410_000, 150_000, 9_800,
+                  0.97, 0.30, skew=2.8),
+            _data("queue", 1 * KB, 180_000, 120_000, 9_800,
+                  0.94, 0.12, skew=3.5),
+            _stack(1 * KB, 42_000, 35_000, 9_800, 0.93, 0.04),
+        ),
+    ),
+    "sha": SyntheticBenchmark(
+        name="sha",
+        description="SHA-1 digest of a streamed buffer: tiny hot state, "
+                    "read-once input",
+        total_instructions=2_900_000,
+        cpi=1.4,
+        blocks=(
+            _code("sha_transform", 2_048, 1_050_000, 5_200, 0.98, 0.26,
+                  calls=5_200, stack=384),
+            _code("sha_update", 512, 190_000, 5_200, 0.96, 0.16),
+            _data("message_buffer", 10 * KB, 760_000, 12_500, 5_200,
+                  0.97, 0.30, skew=1.1),
+            _data("w_schedule", 320, 540_000, 430_000, 5_200,
+                  0.95, 0.25, skew=1.8),
+            _data("digest_state", 64, 260_000, 130_000, 5_200,
+                  0.98, 0.12, skew=1.2),
+            _stack(512, 42_000, 35_000, 5_300, 0.90, 0.06),
+        ),
+    ),
+    "crc32": SyntheticBenchmark(
+        name="crc32",
+        description="CRC over a streamed file: read-only table and "
+                    "buffer, one accumulator",
+        total_instructions=2_200_000,
+        cpi=1.3,
+        blocks=(
+            _code("crc_loop", 256, 900_000, 24, 0.99, 0.35, calls=24,
+                  stack=96),
+            _data("crc_table", 1 * KB, 820_000, 256, 1_200, 0.98, 0.62,
+                  skew=1.0),
+            _data("stream_buffer", 10 * KB, 830_000, 14_500, 1_200,
+                  0.97, 0.35, skew=1.0),
+            _stack(256, 1_800, 1_500, 30, 0.30, 0.01),
+        ),
+    ),
+    "fft": SyntheticBenchmark(
+        name="fft",
+        description="in-place radix-2 FFT: butterfly read/writes over "
+                    "the signal, read-only twiddle table",
+        total_instructions=3_600_000,
+        cpi=1.9,
+        blocks=(
+            _code("fft_core", 1_536, 880_000, 3_400, 0.98, 0.30,
+                  calls=3_400, stack=448),
+            _code("bit_reverse", 448, 160_000, 1_700, 0.40, 0.08),
+            _data("signal_real", 1 * KB, 620_000, 310_000, 3_400,
+                  0.97, 0.30, skew=1.5),
+            _data("signal_imag", 1 * KB, 600_000, 300_000, 3_400,
+                  0.97, 0.28, skew=1.5),
+            _data("twiddle_table", 4 * KB, 540_000, 1_024, 3_400,
+                  0.96, 0.50, skew=1.0),
+            _stack(768, 44_000, 36_000, 3_500, 0.88, 0.06),
+        ),
+    ),
+    "basicmath": SyntheticBenchmark(
+        name="basicmath",
+        description="cubic/quadratic solvers and conversions: compute-"
+                    "bound, small data, heavy stack temporaries",
+        total_instructions=2_700_000,
+        cpi=1.5,
+        blocks=(
+            _code("solve_cubic", 1_024, 760_000, 36_000, 0.95, 0.24,
+                  calls=36_000, stack=640),
+            _code("usqrt", 384, 410_000, 60_000, 0.90, 0.18),
+            _code("deg_rad", 256, 170_000, 45_000, 0.85, 0.10),
+            _data("math_tables", 3 * KB, 240_000, 512, 2_400,
+                  0.95, 0.40, skew=1.0),
+            _data("coefficients", 1 * KB, 300_000, 72_000, 36_000,
+                  0.94, 0.22, skew=1.7),
+            _data("results", 1 * KB, 90_000, 140_000, 36_000,
+                  0.93, 0.18, skew=1.5),
+            _stack(1 * KB, 260_000, 210_000, 37_000, 0.96, 0.07, skew=7.0),
+        ),
+    ),
+    "bitcount": SyntheticBenchmark(
+        name="bitcount",
+        description="bit-counting micro-kernel battery: read-only input "
+                    "words, tiny lookup tables",
+        total_instructions=2_000_000,
+        cpi=1.2,
+        blocks=(
+            _code("bitcount_loops", 896, 840_000, 700, 0.99, 0.38,
+                  calls=7_700, stack=128),
+            _data("bit_table", 256, 430_000, 256, 1_100, 0.97, 0.55,
+                  skew=1.0),
+            _data("input_words", 8 * KB, 460_000, 8_200, 1_100,
+                  0.96, 0.33, skew=1.0),
+            _data("counters", 128, 120_000, 95_000, 7_700, 0.95, 0.30,
+                  skew=1.4),
+            _stack(256, 16_000, 13_500, 7_800, 0.91, 0.02),
+        ),
+    ),
+    "stringsearch": SyntheticBenchmark(
+        name="stringsearch",
+        description="Boyer-Moore search: read-only text and patterns, "
+                    "small skip table written once per pattern",
+        total_instructions=2_400_000,
+        cpi=1.4,
+        blocks=(
+            _code("bmh_search", 768, 880_000, 2_600, 0.98, 0.31,
+                  calls=2_600, stack=192),
+            _data("search_text", 10 * KB, 930_000, 13_400, 2_600,
+                  0.97, 0.45, skew=1.0),
+            _data("patterns", 1 * KB, 180_000, 1_050, 2_600, 0.95, 0.28,
+                  skew=1.0),
+            _data("skip_table", 1 * KB, 240_000, 66_000, 2_600,
+                  0.94, 0.10, skew=1.3),
+            _stack(384, 9_500, 8_000, 2_700, 0.89, 0.02),
+        ),
+    ),
+    "adpcm": SyntheticBenchmark(
+        name="adpcm",
+        description="ADPCM codec: streaming samples in, compressed "
+                    "nibbles out, tiny predictor state",
+        total_instructions=2_800_000,
+        cpi=1.3,
+        blocks=(
+            _code("adpcm_coder", 1_152, 1_060_000, 1_400, 0.99, 0.33,
+                  calls=1_400, stack=224),
+            _data("pcm_samples", 10 * KB, 900_000, 12_300, 1_400,
+                  0.97, 0.38, skew=1.0),
+            _data("adpcm_output", 2 * KB, 75_000, 450_000, 1_400,
+                  0.95, 0.28, skew=1.2),
+            _data("step_table", 512, 380_000, 128, 900, 0.96, 0.48,
+                  skew=1.0),
+            _data("predictor_state", 64, 210_000, 160_000, 1_400,
+                  0.98, 0.09, skew=1.1),
+            _stack(256, 7_200, 6_000, 1_500, 0.86, 0.02),
+        ),
+    ),
+    "patricia": SyntheticBenchmark(
+        name="patricia",
+        description="Patricia trie lookups: pointer-chasing reads over "
+                    "trie nodes, rare inserts, small key buffer",
+        total_instructions=2_900_000,
+        cpi=1.9,
+        blocks=(
+            _code("trie_lookup", 1_024, 830_000, 48_000, 0.98, 0.33,
+                  calls=48_000, stack=384),
+            _code("trie_insert", 896, 120_000, 2_200, 0.70, 0.10),
+            _data("trie_nodes", 11 * KB, 1_250_000, 26_000, 48_000,
+                  0.98, 0.52, skew=1.4),
+            _data("key_buffer", 1 * KB, 310_000, 52_000, 48_000,
+                  0.95, 0.14, skew=1.6),
+            _stack(768, 96_000, 80_000, 49_000, 0.94, 0.05, skew=6.0),
+        ),
+    ),
+    "rijndael": SyntheticBenchmark(
+        name="rijndael",
+        description="AES encryption: read-only S-box/round tables, "
+                    "streamed input, small hot state block",
+        total_instructions=3_400_000,
+        cpi=1.4,
+        blocks=(
+            _code("aes_rounds", 2_304, 1_180_000, 9_400, 0.98, 0.29,
+                  calls=9_400, stack=448),
+            _data("sbox_tables", 5 * KB, 1_150_000, 1_280, 9_400,
+                  0.97, 0.55, skew=1.0),
+            _data("input_stream", 6 * KB, 420_000, 6_200, 9_400,
+                  0.96, 0.32, skew=1.0),
+            _data("round_state", 256, 480_000, 390_000, 9_400,
+                  0.95, 0.20, skew=1.6),
+            _data("key_schedule", 512, 350_000, 1_760, 2_400,
+                  0.96, 0.42, skew=1.0),
+            _stack(512, 21_000, 17_500, 9_500, 0.90, 0.03),
+        ),
+    ),
+    "blowfish": SyntheticBenchmark(
+        name="blowfish",
+        description="Blowfish encryption: large P/S boxes initialised "
+                    "then read-only, streamed blocks",
+        total_instructions=3_000_000,
+        cpi=1.3,
+        blocks=(
+            _code("bf_encrypt", 1_152, 1_040_000, 22_000, 0.98, 0.31,
+                  calls=22_000, stack=256),
+            _data("pbox_sbox", 4 * KB, 1_180_000, 1_042, 22_000,
+                  0.97, 0.58, skew=1.0),
+            _data("block_stream", 8 * KB, 360_000, 8_400, 22_000,
+                  0.96, 0.30, skew=1.0),
+            _data("xl_xr_state", 128, 310_000, 250_000, 22_000,
+                  0.95, 0.18, skew=1.5),
+            _stack(384, 14_000, 11_500, 22_500, 0.89, 0.03),
+        ),
+    ),
+    "lame": SyntheticBenchmark(
+        name="lame",
+        description="MP3 encode: PCM frames in, psychoacoustic "
+                    "work buffers, bitstream out",
+        total_instructions=4_600_000,
+        cpi=1.8,
+        blocks=(
+            _code("mdct_long", 2_432, 1_020_000, 7_600, 0.97, 0.26,
+                  calls=7_600, stack=704),
+            _code("psymodel", 1_792, 760_000, 7_600, 0.95, 0.22),
+            _data("pcm_frames", 9 * KB, 940_000, 9_800, 7_600,
+                  0.97, 0.41, skew=1.1),
+            _data("mdct_work", 2 * KB, 520_000, 480_000, 7_600,
+                  0.94, 0.21, skew=2.2),
+            _data("psy_energy", 1 * KB, 260_000, 170_000, 7_600,
+                  0.93, 0.16, skew=1.8),
+            _data("window_tables", 2 * KB, 430_000, 512, 3_000,
+                  0.96, 0.47, skew=1.0),
+            _stack(1 * KB, 58_000, 47_000, 7_700, 0.92, 0.04),
+        ),
+    ),
+    "gsm": SyntheticBenchmark(
+        name="gsm",
+        description="GSM full-rate codec: frame buffers, LPC "
+                    "coefficients, and a write-heavy work area",
+        total_instructions=3_900_000,
+        cpi=1.6,
+        blocks=(
+            _code("gsm_lpc", 2_176, 940_000, 5_800, 0.97, 0.27,
+                  calls=5_800, stack=512),
+            _code("gsm_ltp", 1_408, 720_000, 5_800, 0.95, 0.23),
+            _data("speech_frames", 9 * KB, 880_000, 11_000, 5_800,
+                  0.97, 0.40, skew=1.1),
+            _data("lpc_coeffs", 1 * KB, 340_000, 85_000, 5_800,
+                  0.95, 0.14, skew=1.9),
+            _data("work_area", 2 * KB, 390_000, 370_000, 5_800,
+                  0.94, 0.20, skew=2.6),
+            _data("codec_tables", 2 * KB, 310_000, 512, 2_100,
+                  0.96, 0.45, skew=1.0),
+            _stack(768, 31_000, 26_000, 5_900, 0.92, 0.03),
+        ),
+    ),
+}
+
+
+def mibench_names():
+    """Names of the sweep suite, in canonical order."""
+    return sorted(MIBENCH_SUITE)
+
+
+def synthetic_profile(name):
+    """Expand one suite entry into a :class:`Profile`."""
+    try:
+        benchmark = MIBENCH_SUITE[name]
+    except KeyError:
+        raise ProfileError(
+            "unknown synthetic benchmark %r (available: %s)"
+            % (name, ", ".join(mibench_names()))) from None
+    return benchmark.profile()

@@ -1,0 +1,318 @@
+"""Assembler: syntax, directives, symbols, blocks, and error reporting."""
+
+import pytest
+
+from repro.errors import AssemblyError, EncodingError
+from repro.isa import (
+    Condition,
+    Mnemonic,
+    OperandKind,
+    assemble,
+)
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def asm(body):
+    return assemble(".text\n.func main\nmain:\n%s\nhalt\n.endfunc\n" % body)
+
+
+def first_instruction(program):
+    return program.instructions[TEXT_BASE]
+
+
+def test_simple_program_addresses():
+    program = asm("mov r0, #1\nmov r1, #2")
+    addresses = sorted(program.instructions)
+    # two movs plus the template's halt
+    assert addresses == [TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+
+
+def test_entry_defaults_to_main():
+    program = asm("mov r0, #1")
+    assert program.entry == program.symbol("main")
+
+
+def test_entry_directive():
+    program = assemble(
+        ".text\n.entry start\n.func start\nstart: halt\n.endfunc\n")
+    assert program.entry == program.symbol("start")
+
+
+def test_undefined_entry_raises():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n.entry nowhere\n.func f\nf: halt\n.endfunc\n")
+
+
+def test_mov_immediate_decoding():
+    instruction = first_instruction(asm("mov r3, #42"))
+    assert instruction.mnemonic is Mnemonic.MOV
+    assert instruction.operands[0].value == 3
+    assert instruction.operands[1].value == 42
+
+
+def test_negative_and_hex_immediates():
+    program = asm("mov r0, #-5\nmov r1, #0x1F")
+    instructions = [program.instructions[TEXT_BASE],
+                    program.instructions[TEXT_BASE + 4]]
+    assert instructions[0].operands[1].value == -5
+    assert instructions[1].operands[1].value == 0x1F
+
+
+def test_char_immediate():
+    instruction = first_instruction(asm("mov r0, #'a'"))
+    assert instruction.operands[1].value == ord("a")
+
+
+def test_condition_suffix():
+    instruction = first_instruction(asm("moveq r0, #1"))
+    assert instruction.condition is Condition.EQ
+
+
+def test_set_flags_suffix():
+    instruction = first_instruction(asm("adds r0, r0, #1"))
+    assert instruction.set_flags
+
+
+def test_cmp_always_sets_flags():
+    instruction = first_instruction(asm("cmp r0, #1"))
+    assert instruction.set_flags
+
+
+def test_branch_condition_parsing_ambiguity():
+    # 'bls' must parse as b + ls, not bl + s
+    instruction = first_instruction(asm("bls main"))
+    assert instruction.mnemonic is Mnemonic.B
+    assert instruction.condition is Condition.LS
+
+
+def test_blt_parses_as_conditional_branch():
+    instruction = first_instruction(asm("blt main"))
+    assert instruction.mnemonic is Mnemonic.B
+    assert instruction.condition is Condition.LT
+
+
+def test_bl_is_call():
+    instruction = first_instruction(asm("bl main"))
+    assert instruction.mnemonic is Mnemonic.BL
+
+
+def test_cs_cc_aliases():
+    program = asm("bcs main\nbcc main")
+    a = program.instructions[TEXT_BASE]
+    b = program.instructions[TEXT_BASE + 4]
+    assert a.condition is Condition.HS
+    assert b.condition is Condition.LO
+
+
+def test_addressing_modes():
+    program = asm("ldr r0, [r1]\nldr r0, [r1, #8]\nldr r0, [r1, r2]")
+    base_only = program.instructions[TEXT_BASE]
+    imm_offset = program.instructions[TEXT_BASE + 4]
+    reg_offset = program.instructions[TEXT_BASE + 8]
+    assert base_only.operands[2].value == 0
+    assert imm_offset.operands[2].value == 8
+    assert reg_offset.operands[2].kind is OperandKind.REGISTER
+
+
+def test_ldr_equals_symbol_lowered_to_address():
+    program = assemble("""
+        .text
+        .func main
+main:   ldr r1, =table
+        halt
+        .endfunc
+        .data
+table:  .word 1
+""")
+    instruction = program.instructions[TEXT_BASE]
+    assert instruction.operands[1].value == program.symbol("table")
+    assert len(instruction.operands) == 2  # no memory access form
+
+
+def test_register_list_with_ranges():
+    instruction = first_instruction(asm("push {r0, r4-r6, lr}"))
+    assert instruction.operands[0].value == (0, 4, 5, 6, 14)
+
+
+def test_register_list_inverted_range_rejected():
+    with pytest.raises(EncodingError):
+        asm("push {r6-r4}")
+
+
+def test_register_list_duplicate_rejected():
+    with pytest.raises(EncodingError):
+        asm("push {r1, r1}")
+
+
+def test_unknown_instruction_reports_line():
+    with pytest.raises(AssemblyError) as excinfo:
+        asm("frobnicate r0")
+    assert "line" in str(excinfo.value)
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(EncodingError):
+        asm("ldr r0, =missing")
+
+
+def test_undefined_branch_target_rejected():
+    with pytest.raises(AssemblyError):
+        asm("b nowhere")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n.func f\nf: halt\nf: halt\n.endfunc\n")
+
+
+def test_operand_count_checked():
+    with pytest.raises(EncodingError):
+        asm("add r0, r1")
+
+
+def test_data_objects_from_labels():
+    program = assemble("""
+        .text
+        .func main
+main:   halt
+        .endfunc
+        .data
+alpha:  .word 1, 2, 3
+beta:   .space 16
+""")
+    names = {obj.name: obj for obj in program.data_objects}
+    assert names["alpha"].size == 12
+    assert names["beta"].size == 16
+    assert names["alpha"].start == DATA_BASE
+
+
+def test_data_words_little_endian():
+    program = assemble("""
+        .text
+        .func main
+main:   halt
+        .endfunc
+        .data
+value:  .word 0x11223344
+""")
+    assert bytes(program.data[:4]) == b"\x44\x33\x22\x11"
+
+
+def test_byte_and_half_directives():
+    program = assemble("""
+        .text
+        .func main
+main:   halt
+        .endfunc
+        .data
+b:      .byte 1, 2, 255
+h:      .half 0x0102
+""")
+    assert program.data[0:3] == bytearray([1, 2, 255])
+    assert program.data[3:5] == bytearray([0x02, 0x01])
+
+
+def test_asciz_appends_nul():
+    program = assemble("""
+        .text
+        .func main
+main:   halt
+        .endfunc
+        .data
+s:      .asciz "hi"
+""")
+    assert bytes(program.data[:3]) == b"hi\x00"
+
+
+def test_align_pads_data():
+    program = assemble("""
+        .text
+        .func main
+main:   halt
+        .endfunc
+        .data
+a:      .byte 1
+        .align 4
+b:      .word 2
+""")
+    names = {obj.name: obj for obj in program.data_objects}
+    assert names["b"].start % 4 == 0
+
+
+def test_space_with_fill_value():
+    program = assemble("""
+        .text
+        .func main
+main:   halt
+        .endfunc
+        .data
+f:      .space 4, 0xAB
+""")
+    assert program.data[:4] == bytearray([0xAB] * 4)
+
+
+def test_word_in_text_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n.word 5\n")
+
+
+def test_instruction_in_data_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".data\nmov r0, #1\n")
+
+
+def test_func_must_be_closed():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n.func f\nf: halt\n")
+
+
+def test_nested_func_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n.func a\n.func b\nhalt\n.endfunc\n.endfunc\n")
+
+
+def test_empty_func_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n.func a\n.endfunc\n")
+
+
+def test_code_blocks_recorded():
+    program = assemble("""
+        .text
+        .func main
+main:   nop
+        halt
+        .endfunc
+        .func helper
+helper: bx lr
+        .endfunc
+""")
+    blocks = {block.name: block for block in program.code_blocks}
+    assert blocks["main"].size == 8
+    assert blocks["helper"].size == 4
+
+
+def test_comments_are_stripped():
+    program = asm("mov r0, #1 ; trailing\n// whole line\nnop @ other style")
+    mnemonics = [program.instructions[a].mnemonic
+                 for a in sorted(program.instructions)]
+    assert Mnemonic.NOP in mnemonics
+
+
+def test_symbol_plus_offset():
+    program = assemble("""
+        .text
+        .func main
+main:   ldr r0, =table+8
+        halt
+        .endfunc
+        .data
+table:  .word 1, 2, 3
+""")
+    instruction = program.instructions[TEXT_BASE]
+    assert instruction.operands[1].value == program.symbol("table") + 8
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\n.bogus 1\n")

@@ -1,0 +1,56 @@
+"""ASCII bar chart rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.charts import render_bar_chart
+
+
+def test_single_series_chart():
+    text = render_bar_chart(["a", "bb"], {"s": [1.0, 2.0]}, width=10)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "2" in lines[1]
+
+
+def test_grouped_series_use_distinct_glyphs():
+    text = render_bar_chart(["x"], {"one": [1.0], "two": [1.0]}, width=4)
+    assert "#" in text and "=" in text
+
+
+def test_title_included():
+    text = render_bar_chart(["a"], {"s": [1]}, title="My chart")
+    assert text.splitlines()[0] == "My chart"
+
+
+def test_zero_and_negative_values_render_empty_bars():
+    text = render_bar_chart(["a", "b"], {"s": [0.0, -5.0]}, width=10)
+    assert "#" not in text
+
+
+def test_log_scale_compresses_magnitudes():
+    linear = render_bar_chart(["a", "b"], {"s": [1.0, 1000.0]}, width=30)
+    logged = render_bar_chart(["a", "b"], {"s": [1.0, 1000.0]}, width=30,
+                              log_scale=True)
+    linear_small = linear.splitlines()[0].count("#")
+    logged_small = logged.splitlines()[0].count("#")
+    assert logged_small > linear_small  # small value visible on log axis
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ReproError):
+        render_bar_chart(["a", "b"], {"s": [1.0]})
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ReproError):
+        render_bar_chart(["a"], {})
+
+
+def test_figures_include_charts():
+    from repro.eval import run_experiment
+    for name in ("fig5", "fig6", "fig7", "fig8"):
+        result = run_experiment(name)
+        assert "#" in result.notes, name

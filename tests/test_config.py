@@ -1,0 +1,160 @@
+"""Platform configuration: Table IV presets and validation."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    MemoryTechnology,
+    Protection,
+    RegionConfig,
+    SpmConfig,
+    SystemConfig,
+    baseline_sram_config,
+    baseline_sttram_config,
+    ftspm_config,
+    preset,
+    sram_region,
+    sttram_region,
+)
+from repro.errors import ConfigurationError
+from repro.units import kilobytes
+
+
+def test_ftspm_data_spm_split_matches_table_iv():
+    config = ftspm_config()
+    regions = config.data_spm.regions
+    assert [r.size for r in regions] == [
+        kilobytes(2), kilobytes(2), kilobytes(12)]
+    assert regions[0].protection is Protection.PARITY
+    assert regions[1].protection is Protection.SECDED
+    assert regions[2].technology is MemoryTechnology.STT_RAM
+
+
+def test_ftspm_instruction_spm_is_pure_sttram():
+    config = ftspm_config()
+    (region,) = config.instruction_spm.regions
+    assert region.technology is MemoryTechnology.STT_RAM
+    assert region.size == kilobytes(16)
+
+
+def test_table_iv_latencies():
+    config = ftspm_config()
+    parity, secded, stt = config.data_spm.regions
+    assert (parity.read_latency, parity.write_latency) == (1, 1)
+    assert (secded.read_latency, secded.write_latency) == (2, 2)
+    assert (stt.read_latency, stt.write_latency) == (1, 10)
+
+
+def test_baseline_sram_is_secded_two_clock():
+    config = baseline_sram_config()
+    for spm in (config.instruction_spm, config.data_spm):
+        (region,) = spm.regions
+        assert region.protection is Protection.SECDED
+        assert region.read_latency == 2
+
+
+def test_baseline_sttram_write_latency():
+    config = baseline_sttram_config()
+    (region,) = config.data_spm.regions
+    assert region.write_latency == 10
+
+
+def test_all_structures_have_8kb_cache():
+    for factory in (baseline_sram_config, baseline_sttram_config,
+                    ftspm_config):
+        assert factory().cache.size == kilobytes(8)
+
+
+def test_spm_total_sizes_match_paper():
+    for factory in (baseline_sram_config, baseline_sttram_config,
+                    ftspm_config):
+        config = factory()
+        assert config.instruction_spm.size == kilobytes(16)
+        assert config.data_spm.size == kilobytes(16)
+
+
+def test_ftspm_region_split_is_parameterised():
+    config = ftspm_config(parity_kb=4, secded_kb=4, stt_kb=8)
+    assert config.data_spm.size == kilobytes(16)
+    assert config.data_spm.region("dspm-parity").size == kilobytes(4)
+
+
+def test_preset_lookup():
+    assert preset("ftspm").name == "ftspm"
+    assert preset("baseline-sram").name == "baseline-sram"
+
+
+def test_preset_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        preset("nonexistent")
+
+
+def test_region_requires_positive_size():
+    with pytest.raises(ConfigurationError):
+        RegionConfig("x", MemoryTechnology.SRAM, Protection.NONE,
+                     0, 1, 1)
+
+
+def test_region_requires_positive_latency():
+    with pytest.raises(ConfigurationError):
+        RegionConfig("x", MemoryTechnology.SRAM, Protection.NONE,
+                     1024, 0, 1)
+
+
+def test_sttram_must_be_immune():
+    with pytest.raises(ConfigurationError):
+        RegionConfig("x", MemoryTechnology.STT_RAM, Protection.SECDED,
+                     1024, 1, 10)
+
+
+def test_sram_cannot_be_immune():
+    with pytest.raises(ConfigurationError):
+        RegionConfig("x", MemoryTechnology.SRAM, Protection.IMMUNE,
+                     1024, 1, 1)
+
+
+def test_spm_rejects_duplicate_region_names():
+    with pytest.raises(ConfigurationError):
+        SpmConfig("spm", (sram_region("a", 1024), sram_region("a", 1024)))
+
+
+def test_spm_rejects_empty_regions():
+    with pytest.raises(ConfigurationError):
+        SpmConfig("spm", ())
+
+
+def test_spm_region_lookup():
+    spm = SpmConfig("spm", (sram_region("a", 1024), sttram_region("b", 2048)))
+    assert spm.region("b").size == 2048
+    with pytest.raises(ConfigurationError):
+        spm.region("c")
+
+
+def test_system_requires_both_spms():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(name="broken")
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(size=1000, line_size=32, associativity=4)
+
+
+def test_cycle_time():
+    config = ftspm_config()
+    assert config.cycle_time == pytest.approx(1.0 / config.clock_hz)
+
+
+def test_with_data_spm_replaces_only_data_spm():
+    config = ftspm_config()
+    new_spm = SpmConfig("D-SPM", (sram_region("only", kilobytes(16)),))
+    modified = config.with_data_spm(new_spm)
+    assert modified.data_spm.region("only").size == kilobytes(16)
+    assert modified.instruction_spm is config.instruction_spm
+
+
+def test_protection_is_sram_scheme():
+    assert Protection.PARITY.is_sram_scheme
+    assert Protection.SECDED.is_sram_scheme
+    assert not Protection.IMMUNE.is_sram_scheme
+    assert not Protection.NONE.is_sram_scheme

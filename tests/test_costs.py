@@ -1,0 +1,130 @@
+"""Scenario cost model: latencies, energy, overheads, ideal point."""
+
+import pytest
+
+from repro import baseline_sram_config, ftspm_config
+from repro.core import MappingPlan, ScenarioCostModel
+from repro.profile.blocks import BlockKind, ProgramBlock
+from repro.profile.profiler import BlockStats, Profile
+
+KB = 1024
+
+
+def make_block(name, size, reads, writes, kind=BlockKind.DATA):
+    stats = BlockStats(block=ProgramBlock(name, kind, 0x1000, size))
+    stats.reads = reads
+    stats.writes = writes
+    stats.first_touch_cycle = 0
+    stats.last_touch_cycle = 100
+    return stats
+
+
+def make_profile(*blocks):
+    return Profile(program=None,
+                   blocks={b.name: b for b in blocks},
+                   total_cycles=1_000_000,
+                   total_instructions=700_000)
+
+
+@pytest.fixture
+def profile():
+    return make_profile(
+        make_block("code", 2 * KB, 100_000, 0, BlockKind.CODE),
+        make_block("data", 2 * KB, 50_000, 10_000),
+    )
+
+
+@pytest.fixture
+def model(profile):
+    return ScenarioCostModel(profile, ftspm_config())
+
+
+def test_unmapped_blocks_priced_at_cache_cost(profile, model):
+    plan = MappingPlan.empty(ftspm_config())
+    cost = model.cost_of(plan)
+    expected = 160_000 * model.cache_cost.latency
+    assert cost.memory_cycles == pytest.approx(expected)
+    assert cost.transfer_cycles == 0
+
+
+def test_cache_cost_includes_miss_penalty(model):
+    # miss-rate-weighted line fill makes the average latency > hit latency
+    assert model.cache_cost.latency > 1.0
+
+
+def test_sttram_writes_priced_at_ten_cycles(profile, model):
+    plan = MappingPlan.empty(ftspm_config())
+    plan.assign(profile.get("data"), "dspm-stt")
+    plan.leave_unmapped(profile.get("code"))
+    cost = model.cost_of(plan, include_transfers=False)
+    data_cycles = 50_000 * 1 + 10_000 * 10
+    code_cycles = 100_000 * model.cache_cost.latency
+    assert cost.memory_cycles == pytest.approx(data_cycles + code_cycles)
+
+
+def test_transfer_cost_charged_once_per_mapped_block(profile, model):
+    plan = MappingPlan.empty(ftspm_config())
+    plan.assign(profile.get("data"), "dspm-parity")
+    with_transfers = model.cost_of(plan)
+    without = model.cost_of(plan, include_transfers=False)
+    assert with_transfers.transfer_cycles > 0
+    assert without.transfer_cycles == 0
+    assert with_transfers.dynamic_energy > without.dynamic_energy
+
+
+def test_ideal_cost_is_one_cycle_per_access(profile, model):
+    ideal = model.ideal_cost()
+    assert ideal.memory_cycles == 160_000
+    assert ideal.transfer_cycles == 0
+
+
+def test_ideal_cost_cached(model):
+    assert model.ideal_cost() is model.ideal_cost()
+
+
+def test_perf_overhead_zero_for_ideal_like_plan(profile, model):
+    plan = MappingPlan.empty(ftspm_config())
+    # parity region: 1-cycle, so only the DMA transfer adds overhead
+    plan.assign(profile.get("data"), "dspm-parity")
+    plan.leave_unmapped(profile.get("code"))
+    overhead = model.perf_overhead(plan)
+    # code through cache dominates; mapping code removes most of it
+    assert overhead > 0
+
+
+def test_mapping_reduces_overhead(profile, model):
+    unmapped = MappingPlan.empty(ftspm_config())
+    mapped = MappingPlan.empty(ftspm_config())
+    mapped.assign(profile.get("code"), "ispm-stt")
+    mapped.assign(profile.get("data"), "dspm-parity")
+    assert model.perf_overhead(mapped) < model.perf_overhead(unmapped)
+    assert model.energy_overhead(mapped) < model.energy_overhead(unmapped)
+
+
+def test_stt_heavy_plan_has_high_energy_overhead(profile, model):
+    stt_plan = MappingPlan.empty(ftspm_config())
+    stt_plan.assign(profile.get("code"), "ispm-stt")
+    stt_plan.assign(profile.get("data"), "dspm-stt")
+    parity_plan = MappingPlan.empty(ftspm_config())
+    parity_plan.assign(profile.get("code"), "ispm-stt")
+    parity_plan.assign(profile.get("data"), "dspm-parity")
+    assert (model.energy_overhead(stt_plan)
+            > model.energy_overhead(parity_plan))
+
+
+def test_total_cycles_include_base(profile, model):
+    plan = MappingPlan.empty(ftspm_config())
+    cost = model.cost_of(plan)
+    assert cost.total_cycles == pytest.approx(
+        cost.base_cycles + cost.memory_cycles + cost.transfer_cycles)
+    assert cost.base_cycles == 700_000
+
+
+def test_cost_model_for_baseline_config(profile):
+    model = ScenarioCostModel(profile, baseline_sram_config())
+    plan = MappingPlan.empty(baseline_sram_config())
+    plan.assign(profile.get("data"), "dspm-secded")
+    cost = model.cost_of(plan, include_transfers=False)
+    # SEC-DED SRAM: 2 cycles per access for the mapped data block
+    data_cycles = 60_000 * 2
+    assert cost.memory_cycles >= data_cycles

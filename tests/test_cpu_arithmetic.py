@@ -1,0 +1,161 @@
+"""CPU data-processing semantics: arithmetic, logic, shifts, flags."""
+
+import pytest
+
+from conftest import register, run_source
+
+_TEMPLATE = """
+        .text
+        .func main
+main:
+%s
+        halt
+        .endfunc
+"""
+
+
+def run(body):
+    return run_source(_TEMPLATE % body)
+
+
+def test_mov_and_mvn():
+    machine = run("mov r0, #5\nmvn r1, #0")
+    assert register(machine, 0) == 5
+    assert register(machine, 1) == 0xFFFFFFFF
+
+
+def test_add_sub_rsb():
+    machine = run("mov r0, #7\nadd r1, r0, #3\nsub r2, r1, #4\n"
+                  "rsb r3, r2, #100")
+    assert register(machine, 1) == 10
+    assert register(machine, 2) == 6
+    assert register(machine, 3) == 94
+
+
+def test_add_wraps_at_32_bits():
+    machine = run("mvn r0, #0\nadd r1, r0, #1")
+    assert register(machine, 1) == 0
+
+
+def test_sub_borrows_wrap():
+    machine = run("mov r0, #0\nsub r1, r0, #1")
+    assert register(machine, 1) == 0xFFFFFFFF
+
+
+def test_mul_and_mla():
+    machine = run("mov r0, #6\nmov r1, #7\nmul r2, r0, r1\n"
+                  "mla r3, r0, r1, r2")
+    assert register(machine, 2) == 42
+    assert register(machine, 3) == 84
+
+
+def test_mul_wraps():
+    machine = run("mvn r0, #0\nmov r1, #2\nmul r2, r0, r1")
+    assert register(machine, 2) == 0xFFFFFFFE
+
+
+def test_sdiv_truncates_toward_zero():
+    machine = run("mov r0, #-7\nmov r1, #2\nsdiv r2, r0, r1")
+    assert register(machine, 2) == 0xFFFFFFFD  # -3
+
+
+def test_udiv():
+    machine = run("mov r0, #7\nmov r1, #2\nudiv r2, r0, r1")
+    assert register(machine, 2) == 3
+
+
+def test_divide_by_zero_yields_zero():
+    machine = run("mov r0, #7\nmov r1, #0\nudiv r2, r0, r1\n"
+                  "sdiv r3, r0, r1")
+    assert register(machine, 2) == 0
+    assert register(machine, 3) == 0
+
+
+def test_logic_operations():
+    machine = run("mov r0, #0xF0\nmov r1, #0x3C\n"
+                  "and r2, r0, r1\norr r3, r0, r1\n"
+                  "eor r4, r0, r1\nbic r5, r0, r1")
+    assert register(machine, 2) == 0x30
+    assert register(machine, 3) == 0xFC
+    assert register(machine, 4) == 0xCC
+    assert register(machine, 5) == 0xC0
+
+
+def test_shifts():
+    machine = run("mov r0, #1\nlsl r1, r0, #4\n"
+                  "mov r2, #0x80\nlsr r3, r2, #3\n"
+                  "mvn r4, #0\nasr r5, r4, #8")
+    assert register(machine, 1) == 16
+    assert register(machine, 3) == 0x10
+    assert register(machine, 5) == 0xFFFFFFFF
+
+
+def test_shift_by_32_or_more():
+    machine = run("mov r0, #1\nlsl r1, r0, #32\n"
+                  "mvn r2, #0\nlsr r3, r2, #32")
+    assert register(machine, 1) == 0
+    assert register(machine, 3) == 0
+
+
+def test_asr_large_shift_sign_fills():
+    machine = run("mvn r0, #0\nasr r1, r0, #40\nmov r2, #1\nasr r3, r2, #40")
+    assert register(machine, 1) == 0xFFFFFFFF
+    assert register(machine, 3) == 0
+
+
+def test_flags_zero_and_negative():
+    machine = run("mov r0, #5\nsubs r1, r0, #5")
+    assert machine.cpu.state.zero
+    assert not machine.cpu.state.negative
+
+
+def test_cmp_signed_less_than():
+    machine = run("mov r0, #-1\ncmp r0, #1\n"
+                  "movlt r1, #1\nmovge r2, #1")
+    assert register(machine, 1) == 1
+    assert register(machine, 2) == 0
+
+
+def test_cmp_unsigned_conditions():
+    # 0xFFFFFFFF is unsigned-greater than 1
+    machine = run("mvn r0, #0\ncmp r0, #1\n"
+                  "movhs r1, #1\nmovlo r2, #1\nmovhi r3, #1")
+    assert register(machine, 1) == 1
+    assert register(machine, 2) == 0
+    assert register(machine, 3) == 1
+
+
+def test_overflow_flag_signed():
+    # 0x7FFFFFFF + 1 overflows signed arithmetic
+    machine = run("mov r0, #0x7FFFFFFF\nadds r1, r0, #1\n"
+                  "movmi r2, #1")
+    assert machine.cpu.state.overflow
+    assert register(machine, 2) == 1  # result is negative
+
+
+def test_tst_and_cmn():
+    machine = run("mov r0, #0xF\ntst r0, #0x10\nmoveq r1, #1\n"
+                  "mov r2, #-5\ncmn r2, #5\nmoveq r3, #1")
+    assert register(machine, 1) == 1
+    assert register(machine, 3) == 1
+
+
+def test_conditional_execution_skips():
+    machine = run("mov r0, #0\ncmp r0, #1\naddeq r1, r1, #99\n"
+                  "addne r2, r2, #7")
+    assert register(machine, 1) == 0
+    assert register(machine, 2) == 7
+
+
+def test_mnemonic_counts_recorded():
+    machine = run("mov r0, #1\nmov r1, #2\nadd r2, r0, r1")
+    from repro.isa.instructions import Mnemonic
+    counts = machine.cpu.stats.mnemonic_counts
+    assert counts[Mnemonic.MOV] == 2
+    assert counts[Mnemonic.ADD] == 1
+
+
+def test_mul_costs_more_cycles_than_add():
+    add = run("mov r0, #1\nadd r1, r0, r0")
+    mul = run("mov r0, #1\nmul r1, r0, r0")
+    assert mul.cpu.stats.cycles > add.cpu.stats.cycles

@@ -1,0 +1,177 @@
+"""Control flow: branches, calls, returns, loops, and halting."""
+
+import pytest
+
+from conftest import register, run_source
+from repro.errors import ExecutionLimitExceeded, IllegalInstructionError
+from repro.sim.machine import EXIT_ADDRESS
+
+
+def test_unconditional_branch_skips():
+    machine = run_source("""
+        .text
+        .func main
+main:   mov r0, #1
+        b over
+        mov r0, #99
+over:   halt
+        .endfunc
+""")
+    assert register(machine, 0) == 1
+
+
+def test_conditional_branch_taken_and_not_taken():
+    machine = run_source("""
+        .text
+        .func main
+main:   mov r0, #5
+        cmp r0, #5
+        beq yes
+        mov r1, #1
+yes:    cmp r0, #6
+        beq no
+        mov r2, #2
+no:     halt
+        .endfunc
+""")
+    assert register(machine, 1) == 0
+    assert register(machine, 2) == 2
+
+
+def test_loop_counts_correctly():
+    machine = run_source("""
+        .text
+        .func main
+main:   mov r0, #0
+        mov r1, #0
+loop:   add r1, r1, #2
+        add r0, r0, #1
+        cmp r0, #10
+        blt loop
+        halt
+        .endfunc
+""")
+    assert register(machine, 1) == 20
+
+
+def test_bl_sets_link_register_and_bx_returns():
+    machine = run_source("""
+        .text
+        .func main
+main:   bl f
+        mov r1, #3
+        halt
+        .endfunc
+        .func f
+f:      mov r0, #7
+        bx lr
+        .endfunc
+""")
+    assert register(machine, 0) == 7
+    assert register(machine, 1) == 3
+
+
+def test_nested_calls_with_stack():
+    machine = run_source("""
+        .text
+        .func main
+main:   bl outer
+        halt
+        .endfunc
+        .func outer
+outer:  push {lr}
+        bl inner
+        add r0, r0, #1
+        pop {pc}
+        .endfunc
+        .func inner
+inner:  mov r0, #10
+        bx lr
+        .endfunc
+""")
+    assert register(machine, 0) == 11
+
+
+def test_recursion_factorial():
+    machine = run_source("""
+        .text
+        .func main
+main:   mov r0, #6
+        bl fact
+        halt
+        .endfunc
+        .func fact
+fact:   cmp r0, #1
+        ble base
+        push {r4, lr}
+        mov r4, r0
+        sub r0, r0, #1
+        bl fact
+        mul r0, r4, r0
+        pop {r4, pc}
+base:   mov r0, #1
+        bx lr
+        .endfunc
+""")
+    assert register(machine, 0) == 720
+
+
+def test_main_return_via_lr_halts():
+    # main returning with bx lr hits the exit sentinel and stops cleanly
+    machine = run_source("""
+        .text
+        .func main
+main:   mov r0, #42
+        bx lr
+        .endfunc
+""")
+    assert machine.cpu.halted
+    assert register(machine, 0) == 42
+    assert machine.cpu.state.pc == EXIT_ADDRESS
+
+
+def test_infinite_loop_hits_instruction_limit():
+    with pytest.raises(ExecutionLimitExceeded):
+        run_source("""
+        .text
+        .func main
+main:   b main
+        .endfunc
+""", max_instructions=1000)
+
+
+def test_branch_to_non_instruction_raises():
+    with pytest.raises(IllegalInstructionError):
+        run_source("""
+        .text
+        .func main
+main:   mov r1, #0x00020000
+        bx r1
+        .endfunc
+""")
+
+
+def test_taken_branches_counted():
+    machine = run_source("""
+        .text
+        .func main
+main:   mov r0, #0
+loop:   add r0, r0, #1
+        cmp r0, #4
+        blt loop
+        halt
+        .endfunc
+""")
+    assert machine.cpu.stats.taken_branches == 3
+
+
+def test_halt_stops_execution_immediately():
+    machine = run_source("""
+        .text
+        .func main
+main:   halt
+        mov r0, #1
+        .endfunc
+""")
+    assert register(machine, 0) == 0
+    assert machine.cpu.stats.instructions == 1

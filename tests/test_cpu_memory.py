@@ -1,0 +1,124 @@
+"""CPU load/store, push/pop, and byte-access semantics."""
+
+import pytest
+
+from conftest import read_word, register, run_source
+from repro.errors import MemoryAccessError
+
+_TEMPLATE = """
+        .text
+        .func main
+main:
+%s
+        halt
+        .endfunc
+        .data
+scratch: .word 0, 0, 0, 0
+bytes:   .byte 0x11, 0x22, 0x33, 0x44
+value:   .word 0xCAFEBABE
+"""
+
+
+def run(body):
+    return run_source(_TEMPLATE % body)
+
+
+def test_store_then_load_roundtrip():
+    machine = run("ldr r1, =scratch\nmov r0, #123\nstr r0, [r1]\n"
+                  "ldr r2, [r1]")
+    assert register(machine, 2) == 123
+    assert read_word(machine, "scratch") == 123
+
+
+def test_load_initialised_word():
+    machine = run("ldr r1, =value\nldr r0, [r1]")
+    assert register(machine, 0) == 0xCAFEBABE
+
+
+def test_immediate_offset_addressing():
+    machine = run("ldr r1, =scratch\nmov r0, #9\nstr r0, [r1, #8]\n"
+                  "ldr r2, [r1, #8]")
+    assert register(machine, 2) == 9
+
+
+def test_register_offset_addressing():
+    machine = run("ldr r1, =scratch\nmov r3, #12\nmov r0, #77\n"
+                  "str r0, [r1, r3]\nldr r2, [r1, r3]")
+    assert register(machine, 2) == 77
+
+
+def test_negative_offset():
+    machine = run("ldr r1, =bytes\nldr r0, [r1, #-16]")
+    # bytes is 16 past scratch; -16 lands on scratch[0] (zero)
+    assert register(machine, 0) == 0
+
+
+def test_ldrb_zero_extends():
+    machine = run("ldr r1, =value\nldrb r0, [r1, #3]")
+    assert register(machine, 0) == 0xCA
+
+
+def test_strb_writes_single_byte():
+    machine = run("ldr r1, =value\nmov r0, #0x55\nstrb r0, [r1]\n"
+                  "ldr r2, [r1]")
+    assert register(machine, 2) == 0xCAFEBA55
+
+
+def test_push_pop_roundtrip():
+    machine = run("mov r4, #11\nmov r5, #22\npush {r4, r5}\n"
+                  "mov r4, #0\nmov r5, #0\npop {r4, r5}")
+    assert register(machine, 4) == 11
+    assert register(machine, 5) == 22
+
+
+def test_push_descending_stack():
+    machine = run("mov r4, #1\npush {r4}")
+    sp = machine.cpu.state.sp
+    assert sp == machine.program.stack_top - 4
+
+
+def test_pop_into_pc_returns():
+    machine = run_source("""
+        .text
+        .func main
+main:   bl callee
+        mov r1, #5
+        halt
+        .endfunc
+        .func callee
+callee: push {lr}
+        mov r0, #9
+        pop {pc}
+        .endfunc
+""")
+    assert register(machine, 0) == 9
+    assert register(machine, 1) == 5
+
+
+def test_stack_pointer_restored_after_balanced_push_pop():
+    machine = run("push {r0-r3}\npop {r0-r3}")
+    assert machine.cpu.state.sp == machine.program.stack_top
+
+
+def test_misaligned_word_access_is_supported_as_bytes():
+    # Byte access at any offset works; word semantics are little-endian
+    machine = run("ldr r1, =bytes\nldrb r0, [r1, #1]")
+    assert register(machine, 0) == 0x22
+
+
+def test_access_to_unmapped_address_raises():
+    with pytest.raises(MemoryAccessError):
+        run("mov r1, #0x70000000\nldr r0, [r1]")
+
+
+def test_loads_and_stores_counted():
+    machine = run("ldr r1, =scratch\nmov r0, #1\nstr r0, [r1]\n"
+                  "ldr r2, [r1]\nldr r3, [r1]")
+    assert machine.cpu.stats.stores == 1
+    assert machine.cpu.stats.loads == 2
+
+
+def test_ldr_equals_is_not_a_memory_access():
+    machine = run("ldr r1, =scratch")
+    assert machine.cpu.stats.loads == 0
+    assert register(machine, 1) == machine.program.symbol("scratch")

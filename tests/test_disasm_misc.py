@@ -1,0 +1,175 @@
+"""Disassembler, registers, instructions metadata, stats, errors."""
+
+import pytest
+
+from repro.errors import (
+    AssemblyError,
+    MemoryAccessError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa import (
+    Condition,
+    Instruction,
+    Mnemonic,
+    assemble,
+    disassemble,
+    imm,
+    reg,
+    reg_list,
+    register_name,
+    register_number,
+)
+from repro.isa.disasm import disassemble_program
+from repro.mem.stats import AccessStats, EnergyModel
+
+
+# --- registers --------------------------------------------------------------
+
+def test_register_number_parses_aliases():
+    assert register_number("sp") == 13
+    assert register_number("LR") == 14
+    assert register_number("pc") == 15
+    assert register_number("fp") == 11
+    assert register_number("r7") == 7
+
+
+def test_register_number_rejects_garbage():
+    for bad in ("r16", "x0", "", "r-1", "sp2"):
+        with pytest.raises(AssemblyError):
+            register_number(bad)
+
+
+def test_register_name_round_trip():
+    for number in range(16):
+        assert register_number(register_name(number)) == number
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(ValueError):
+        register_name(16)
+
+
+# --- disassembler ----------------------------------------------------------------
+
+def test_disassemble_data_processing():
+    instruction = Instruction(Mnemonic.ADD, (reg(0), reg(1), imm(4)))
+    assert disassemble(instruction) == "add r0, r1, #4"
+
+
+def test_disassemble_condition_and_flags():
+    instruction = Instruction(Mnemonic.MOV, (reg(0), imm(1)),
+                              condition=Condition.EQ, set_flags=True)
+    assert disassemble(instruction) == "movseq r0, #1"
+
+
+def test_disassemble_memory_forms():
+    zero = Instruction(Mnemonic.LDR, (reg(0), reg(1), imm(0)))
+    offset = Instruction(Mnemonic.STR, (reg(2), reg(3), imm(8)))
+    register_form = Instruction(Mnemonic.LDRB, (reg(0), reg(1), reg(2)))
+    assert disassemble(zero) == "ldr r0, [r1]"
+    assert disassemble(offset) == "str r2, [r3, #8]"
+    assert disassemble(register_form) == "ldrb r0, [r1, r2]"
+
+
+def test_disassemble_branch_symbolic():
+    instruction = Instruction(Mnemonic.BL, (imm(0x10000),))
+    assert disassemble(instruction, {0x10000: "main"}) == "bl main"
+    assert disassemble(instruction) == "bl 0x00010000"
+
+
+def test_disassemble_register_list():
+    instruction = Instruction(Mnemonic.PUSH, (reg_list([4, 5, 14]),))
+    assert disassemble(instruction) == "push {r4, r5, lr}"
+
+
+def test_disassemble_large_immediate_hex():
+    instruction = Instruction(Mnemonic.MOV, (reg(0), imm(0x10000)))
+    assert disassemble(instruction) == "mov r0, #0x10000"
+
+
+def test_disassemble_whole_program_round_trips_mnemonics():
+    source = """
+        .text
+        .func main
+main:   mov r0, #1
+        adds r1, r0, #2
+        ldr r2, [r1, #4]
+        push {r0-r2}
+        pop {r0-r2}
+        bl main
+        halt
+        .endfunc
+"""
+    program = assemble(source)
+    lines = [text for _, text in disassemble_program(program)]
+    reassembled = assemble(
+        ".text\n.func main\nmain_new:\n"  # avoid duplicate label
+        + "\n".join(line for line in lines if not line.startswith("bl"))
+        + "\nbl main_new\n.endfunc\n")
+    assert len(reassembled.instructions) == len(program.instructions)
+
+
+# --- stats ------------------------------------------------------------------------
+
+def test_access_stats_merge_and_copy():
+    a = AccessStats()
+    a.record_read(4, 2, 1e-12)
+    b = AccessStats()
+    b.record_write(8, 3, 2e-12)
+    merged = a.copy().merge(b)
+    assert merged.reads == 1 and merged.writes == 1
+    assert merged.total_cycles == 5
+    assert merged.dynamic_energy == pytest.approx(3e-12)
+    assert a.writes == 0  # copy did not alias
+
+
+def test_access_stats_reset():
+    stats = AccessStats()
+    stats.record_read(4, 1, 0)
+    stats.reset()
+    assert stats.accesses == 0
+
+
+def test_energy_model_scaled():
+    model = EnergyModel(1e-12, 2e-12, 3e-3).scaled(2)
+    assert model.read_energy == pytest.approx(2e-12)
+    assert model.write_energy == pytest.approx(4e-12)
+    assert model.leakage_power == pytest.approx(6e-3)
+
+
+# --- errors ------------------------------------------------------------------------
+
+def test_error_hierarchy():
+    assert issubclass(AssemblyError, ReproError)
+    assert issubclass(MemoryAccessError, SimulationError)
+    assert issubclass(SimulationError, ReproError)
+
+
+def test_assembly_error_carries_line():
+    error = AssemblyError("bad", line=12, source_line="  mov x")
+    assert "line 12" in str(error)
+    assert "mov x" in str(error)
+
+
+def test_memory_error_formats_address():
+    error = MemoryAccessError("unmapped", address=0x1234)
+    assert "0x00001234" in str(error)
+
+
+# --- instruction metadata --------------------------------------------------------------
+
+def test_instruction_predicates():
+    load = Instruction(Mnemonic.LDR, (reg(0), reg(1), imm(0)))
+    store = Instruction(Mnemonic.STR, (reg(0), reg(1), imm(0)))
+    branch = Instruction(Mnemonic.B, (imm(0),))
+    assert load.is_load and load.is_memory_access and not load.is_store
+    assert store.is_store and not store.is_load
+    assert branch.is_branch and not branch.is_memory_access
+
+
+def test_push_pop_memory_predicates():
+    push = Instruction(Mnemonic.PUSH, (reg_list([0]),))
+    pop = Instruction(Mnemonic.POP, (reg_list([0]),))
+    assert push.is_store and push.is_memory_access
+    assert pop.is_load

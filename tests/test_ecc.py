@@ -1,0 +1,159 @@
+"""ECC codecs: exhaustive single/double flips, classification taxonomy."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.ecc import (
+    DecodeOutcome,
+    ErrorClass,
+    ParityCodec,
+    SecDedCodec,
+)
+from repro.errors import FaultInjectionError
+
+
+@pytest.fixture(scope="module")
+def secded():
+    return SecDedCodec(64)
+
+
+@pytest.fixture(scope="module")
+def parity():
+    return ParityCodec(32)
+
+
+# --- parity ---------------------------------------------------------------
+
+def test_parity_roundtrip(parity):
+    for data in (0, 1, 0xFFFFFFFF, 0x80000001, 0x5A5A5A5A):
+        result = parity.decode(parity.encode(data))
+        assert result.outcome is DecodeOutcome.CLEAN
+        assert result.data == data
+
+
+def test_parity_detects_every_single_flip(parity):
+    codeword = parity.encode(0x12345678)
+    for bit in range(33):
+        result = parity.decode(codeword ^ (1 << bit))
+        assert result.outcome is DecodeOutcome.DETECTED_UNCORRECTABLE
+
+
+def test_parity_misses_every_double_flip(parity):
+    codeword = parity.encode(0x12345678)
+    rng = random.Random(7)
+    for _ in range(100):
+        a, b = rng.sample(range(33), 2)
+        result = parity.decode(codeword ^ (1 << a) ^ (1 << b))
+        assert result.outcome is DecodeOutcome.CLEAN
+
+
+def test_parity_classification(parity):
+    data = 0xA5A5A5A5
+    codeword = parity.encode(data)
+    assert parity.classify(data, codeword) is ErrorClass.NONE
+    assert parity.classify(data, codeword ^ 1) is ErrorClass.DUE
+    assert parity.classify(data, codeword ^ 0b11) is ErrorClass.SDC
+
+
+def test_parity_double_flip_with_parity_bit_is_sdc(parity):
+    data = 0xA5A5A5A5
+    codeword = parity.encode(data)
+    corrupted = codeword ^ (1 << 0) ^ (1 << 32)  # data bit + check bit
+    assert parity.classify(data, corrupted) is ErrorClass.SDC
+
+
+def test_parity_storage_overhead(parity):
+    assert parity.storage_overhead == pytest.approx(1 / 32)
+
+
+def test_parity_rejects_bad_width():
+    with pytest.raises(FaultInjectionError):
+        ParityCodec(0)
+
+
+# --- SEC-DED -----------------------------------------------------------------
+
+def test_secded_geometry(secded):
+    assert secded.data_bits == 64
+    assert secded.check_bits == 8
+    assert secded.codeword_bits == 72
+
+
+def test_secded_roundtrip(secded):
+    rng = random.Random(11)
+    for _ in range(50):
+        data = rng.getrandbits(64)
+        result = secded.decode(secded.encode(data))
+        assert result.outcome is DecodeOutcome.CLEAN
+        assert result.data == data
+
+
+def test_secded_corrects_every_single_flip(secded):
+    data = 0x0123456789ABCDEF
+    codeword = secded.encode(data)
+    for bit in range(72):
+        result = secded.decode(codeword ^ (1 << bit))
+        assert result.outcome is DecodeOutcome.CORRECTED
+        assert result.data == data, "bit %d" % bit
+
+
+def test_secded_detects_every_double_flip(secded):
+    data = 0xFEDCBA9876543210
+    codeword = secded.encode(data)
+    for a, b in itertools.combinations(range(0, 72, 5), 2):
+        result = secded.decode(codeword ^ (1 << a) ^ (1 << b))
+        assert result.outcome is DecodeOutcome.DETECTED_UNCORRECTABLE
+
+
+def test_secded_triple_flip_mostly_silent_corruption(secded):
+    """The MBU weakness the paper exploits: >=3 flips often miscorrect."""
+    data = 0x0F0F0F0F0F0F0F0F
+    codeword = secded.encode(data)
+    outcomes = {ErrorClass.SDC: 0, ErrorClass.DUE: 0,
+                ErrorClass.DRE: 0, ErrorClass.NONE: 0}
+    rng = random.Random(23)
+    trials = 2000
+    for _ in range(trials):
+        bits = rng.sample(range(72), 3)
+        corrupted = codeword
+        for bit in bits:
+            corrupted ^= 1 << bit
+        outcomes[secded.classify(data, corrupted)] += 1
+    assert outcomes[ErrorClass.SDC] > 0.5 * trials
+    assert outcomes[ErrorClass.DRE] == 0
+    assert outcomes[ErrorClass.NONE] == 0
+
+
+def test_secded_classification_single_flip_is_dre(secded):
+    data = 42
+    codeword = secded.encode(data)
+    assert secded.classify(data, codeword ^ (1 << 10)) is ErrorClass.DRE
+
+
+def test_secded_clean_is_none(secded):
+    data = 42
+    assert secded.classify(data, secded.encode(data)) is ErrorClass.NONE
+
+
+def test_secded_storage_overhead(secded):
+    assert secded.storage_overhead == pytest.approx(0.125)
+
+
+def test_secded_other_widths():
+    for bits in (16, 32, 128):
+        codec = SecDedCodec(bits)
+        data = (1 << bits) - 0x5
+        result = codec.decode(codec.encode(data))
+        assert result.data == data
+        # single-flip correction still holds
+        corrupted = codec.encode(data) ^ (1 << (bits // 2))
+        fixed = codec.decode(corrupted)
+        assert fixed.outcome is DecodeOutcome.CORRECTED
+        assert fixed.data == data
+
+
+def test_secded_rejects_bad_width():
+    with pytest.raises(FaultInjectionError):
+        SecDedCodec(0)

@@ -1,0 +1,183 @@
+"""Evaluation pipelines: structures, endurance, distribution, tables."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval import (
+    STRUCTURES,
+    WRITE_THRESHOLDS,
+    endurance_analysis,
+    evaluate_structure,
+    plan_for_structure,
+    region_distribution,
+    render_table,
+)
+from repro.workloads import synthetic_profile
+
+
+@pytest.fixture(scope="module")
+def sha_evals():
+    profile = synthetic_profile("sha")
+    return {s: evaluate_structure(profile, s) for s in STRUCTURES}
+
+
+def test_plan_for_structure_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        plan_for_structure(synthetic_profile("sha"), "bogus")
+
+
+def test_all_structures_evaluated(sha_evals):
+    assert set(sha_evals) == set(STRUCTURES)
+    for evaluation in sha_evals.values():
+        assert evaluation.cycles > 0
+        assert evaluation.dynamic_energy > 0
+        assert evaluation.static_energy > 0
+
+
+def test_sttram_baseline_is_immune(sha_evals):
+    assert sha_evals["baseline-sttram"].vulnerability == 0.0
+
+
+def test_sram_baseline_vulnerability_is_paper_constant(sha_evals):
+    """Uniform SEC-DED surface: P(2) + P(>=3) = 0.38 at 40 nm."""
+    assert sha_evals["baseline-sram"].vulnerability == pytest.approx(0.38)
+
+
+def test_ftspm_less_vulnerable_than_sram(sha_evals):
+    assert (sha_evals["ftspm"].vulnerability
+            < sha_evals["baseline-sram"].vulnerability / 3)
+
+
+def test_sram_constant_across_workloads():
+    values = set()
+    for name in ("sha", "crc32", "susan"):
+        evaluation = evaluate_structure(
+            synthetic_profile(name), "baseline-sram")
+        values.add(round(evaluation.vulnerability, 9))
+    assert len(values) == 1
+
+
+def test_leakage_ordering(sha_evals):
+    assert (sha_evals["baseline-sttram"].leakage_power
+            < sha_evals["ftspm"].leakage_power
+            < sha_evals["baseline-sram"].leakage_power)
+
+
+def test_dynamic_energy_ordering(sha_evals):
+    """sha writes a lot: STT worst, FTSPM best (Fig. 7 shape)."""
+    assert (sha_evals["ftspm"].dynamic_energy
+            < sha_evals["baseline-sram"].dynamic_energy
+            < sha_evals["baseline-sttram"].dynamic_energy)
+
+
+def test_sttram_slowest_on_write_heavy(sha_evals):
+    assert sha_evals["baseline-sttram"].cycles > sha_evals["ftspm"].cycles
+
+
+def test_reliability_property(sha_evals):
+    evaluation = sha_evals["ftspm"]
+    assert evaluation.reliability == pytest.approx(
+        1 - evaluation.vulnerability)
+
+
+def test_total_energy(sha_evals):
+    evaluation = sha_evals["ftspm"]
+    assert evaluation.total_energy == pytest.approx(
+        evaluation.dynamic_energy + evaluation.static_energy)
+
+
+def test_mda_result_attached_only_for_ftspm(sha_evals):
+    assert sha_evals["ftspm"].mda_result is not None
+    assert sha_evals["baseline-sram"].mda_result is None
+
+
+# --- endurance --------------------------------------------------------------------
+
+def test_endurance_rates_and_improvement(sha_evals):
+    analysis = endurance_analysis(sha_evals)
+    assert analysis.write_rates["baseline-sttram"] > 0
+    assert analysis.improvement() > 10
+
+
+def test_endurance_lifetime_scales_with_threshold(sha_evals):
+    analysis = endurance_analysis(sha_evals)
+    lifetimes = [analysis.lifetime_seconds("baseline-sttram", t)
+                 for t in WRITE_THRESHOLDS]
+    assert lifetimes == sorted(lifetimes)
+    assert lifetimes[1] == pytest.approx(10 * lifetimes[0])
+
+
+def test_endurance_table_rows_shape(sha_evals):
+    analysis = endurance_analysis(sha_evals)
+    rows = analysis.table_rows()
+    assert len(rows) == len(WRITE_THRESHOLDS)
+    assert rows[0][0] == "1e12"
+
+
+def test_zero_rate_means_infinite_lifetime(sha_evals):
+    analysis = endurance_analysis(sha_evals)
+    analysis.write_rates["ftspm"] = 0.0
+    assert analysis.lifetime_seconds("ftspm", 1e12) == float("inf")
+    assert analysis.improvement() == float("inf")
+
+
+# --- distribution ---------------------------------------------------------------------
+
+def test_region_distribution_buckets():
+    profile = synthetic_profile("susan")
+    config, plan, _ = plan_for_structure(profile, "ftspm")
+    dist = region_distribution(profile, plan, config)
+    assert dist.total_reads() == sum(
+        s.reads for s in profile.blocks.values())
+    assert dist.total_writes() == sum(
+        s.writes for s in profile.blocks.values())
+
+
+def test_region_distribution_fractions_sum_to_one():
+    profile = synthetic_profile("gsm")
+    config, plan, _ = plan_for_structure(profile, "ftspm")
+    dist = region_distribution(profile, plan, config)
+    total = sum(dist.fraction("read", bucket)
+                for bucket in dist._BUCKETS)
+    assert total == pytest.approx(1.0)
+
+
+def test_sram_fraction_convention():
+    """ECC/parity percentages are of SRAM traffic only (paper's Fig. 2)."""
+    profile = synthetic_profile("sha")
+    config, plan, _ = plan_for_structure(profile, "ftspm")
+    dist = region_distribution(profile, plan, config)
+    ecc = dist.sram_fraction("write", "ecc")
+    parity = dist.sram_fraction("write", "parity")
+    assert ecc + parity == pytest.approx(1.0)
+
+
+def test_stt_write_fraction_kept_small_by_mda():
+    """The headline of Fig. 4: the MDA deports write traffic from STT."""
+    for name in ("sha", "susan", "gsm", "jpeg"):
+        profile = synthetic_profile(name)
+        config, plan, _ = plan_for_structure(profile, "ftspm")
+        dist = region_distribution(profile, plan, config)
+        assert dist.fraction("write", "dstt") < 0.25, name
+
+
+# --- table renderer ---------------------------------------------------------------------
+
+def test_render_table_alignment():
+    text = render_table(["Name", "Value"],
+                        [["a", 1], ["bb", 2.5]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1]
+    assert "-+-" in lines[2]
+
+
+def test_render_table_number_formats():
+    text = render_table(["x"], [[1234567], [0.000123], [1.5]])
+    assert "1,234,567" in text
+    assert "0.000123" in text
+
+
+def test_render_table_empty_rows():
+    text = render_table(["a"], [])
+    assert "a" in text

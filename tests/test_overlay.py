@@ -1,0 +1,229 @@
+"""Dynamic overlays: time-multiplexed SPM frames."""
+
+import pytest
+
+from repro import assemble, ftspm_config
+from repro.core import MappingDeterminer, build_machine, plan_with_overlays
+from repro.profile import profile_program
+from repro.sim.machine import Machine, TransferAction, TransferSchedule
+
+# Two-phase program: phase 1 hammers buf_a, phase 2 hammers buf_b.
+# With a shrunken data SPM only one buffer fits statically.
+_SOURCE = """
+        .text
+        .func main
+main:   ldr r1, =buf_a
+        mov r0, #0
+        mov r9, #0
+phase1: ldr r2, [r1, r0]
+        add r2, r2, #1
+        str r2, [r1, r0]
+        add r0, r0, #4
+        cmp r0, #2048
+        blt phase1
+        mov r0, #0
+        add r9, r9, #1
+        cmp r9, #3
+        blt phase1
+
+        ldr r1, =buf_b
+        mov r0, #0
+        mov r9, #0
+phase2: ldr r2, [r1, r0]
+        add r2, r2, #2
+        str r2, [r1, r0]
+        add r0, r0, #4
+        cmp r0, #2048
+        blt phase2
+        mov r0, #0
+        add r9, r9, #1
+        cmp r9, #3
+        blt phase2
+        halt
+        .endfunc
+        .data
+buf_a:  .space 2048
+buf_b:  .space 2048
+"""
+
+
+def tiny_config():
+    """FTSPM shape with a 4 KB data SPM: only one 2 KB buffer fits STT."""
+    return ftspm_config(parity_kb=1, secded_kb=1, stt_kb=2)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = assemble(_SOURCE)
+    profile = profile_program(program)
+    config = tiny_config()
+    mda_result = MappingDeterminer(config).map(profile)
+    return program, profile, config, mda_result
+
+
+def test_static_plan_leaves_one_buffer_unmapped(setup):
+    _, profile, _, mda_result = setup
+    mapped = [a.block_name for a in mda_result.plan.mapped_blocks()
+              if a.block_name.startswith("buf")]
+    assert len(mapped) == 1
+
+
+def test_overlay_planner_pairs_disjoint_phases(setup):
+    _, profile, _, mda_result = setup
+    result = plan_with_overlays(profile, mda_result)
+    assert len(result.overlays) == 1
+    overlay = result.overlays[0]
+    assert {overlay.host, overlay.incoming} == {"buf_a", "buf_b"}
+    assert overlay.trigger_instruction > 0
+
+
+def test_overlay_schedule_has_timed_pair(setup):
+    _, profile, _, mda_result = setup
+    result = plan_with_overlays(profile, mda_result)
+    timed = result.schedule.timed_actions()
+    assert [a.kind for a in timed] == ["unmap", "map"]
+    assert timed[0].trigger_instruction == timed[1].trigger_instruction
+
+
+def test_overlay_run_is_functionally_correct(setup):
+    program, profile, config, mda_result = setup
+    result = plan_with_overlays(profile, mda_result)
+    machine = Machine(program, config, schedule=result.schedule)
+    machine.run()
+    baseline = Machine(assemble(_SOURCE), config)
+    baseline.run()
+    for symbol in ("buf_a", "buf_b"):
+        address = program.symbol(symbol)
+        assert (machine.memory.peek_bytes(address, 2048)
+                == baseline.memory.peek_bytes(address, 2048)), symbol
+
+
+def test_overlay_moves_phase2_traffic_into_spm(setup):
+    program, profile, config, mda_result = setup
+    overlay_machine = Machine(
+        program, config,
+        schedule=plan_with_overlays(profile, mda_result).schedule)
+    overlay_machine.run()
+    from repro.core.online import schedule_for_plan
+    static_machine = Machine(
+        program, config,
+        schedule=schedule_for_plan(mda_result.plan, profile))
+    static_machine.run()
+    # the overlaid run serves strictly more data accesses from the SPM
+    overlay_spm = overlay_machine.memory.data_spm.aggregate_stats()
+    static_spm = static_machine.memory.data_spm.aggregate_stats()
+    assert overlay_spm.accesses > static_spm.accesses
+    assert (overlay_machine.memory.cache.stats.accesses
+            < static_machine.memory.cache.stats.accesses)
+
+
+def test_overlay_swap_charged_dma_costs(setup):
+    program, profile, config, mda_result = setup
+    machine = Machine(
+        program, config,
+        schedule=plan_with_overlays(profile, mda_result).schedule)
+    machine.run()
+    directions = [record.direction for record in machine.dma.records]
+    assert "writeback" in directions  # the host was written back
+    assert directions.count("map") >= 2  # static + overlay map
+
+
+def test_overlay_skips_blocks_without_host(setup):
+    """A block overlapping every resident window cannot be overlaid."""
+    program, profile, config, mda_result = setup
+    # claim: pretend buf_b starts at cycle 0 (overlapping buf_a)
+    stats = profile.get("buf_b")
+    original = stats.first_touch_cycle
+    stats.first_touch_cycle = 0
+    try:
+        result = plan_with_overlays(profile, mda_result)
+        assert not result.overlays
+        assert result.skipped and result.skipped[0][0] == "buf_b"
+    finally:
+        stats.first_touch_cycle = original
+
+
+def test_overlay_incoming_first_direction():
+    """When the unmapped block's phase PRECEDES the host's, the planner
+    gives it the frame statically and defers the host's map."""
+    source = """
+        .text
+        .func main
+main:   ldr r1, =early_buf
+        mov r0, #0
+e1:     ldr r2, [r1, r0]
+        add r2, r2, #1
+        str r2, [r1, r0]
+        add r0, r0, #4
+        cmp r0, #2048
+        blt e1
+
+        ldr r1, =late_buf
+        mov r0, #0
+        mov r9, #0
+l1:     ldr r2, [r1, r0]
+        add r2, r2, r2
+        str r2, [r1, r0]
+        add r0, r0, #4
+        cmp r0, #2048
+        blt l1
+        mov r0, #0
+        add r9, r9, #1
+        cmp r9, #6
+        blt l1
+        halt
+        .endfunc
+        .data
+early_buf: .space 2048
+late_buf:  .space 2048, 1
+"""
+    program = assemble(source)
+    profile = profile_program(program)
+    config = tiny_config()
+    mda_result = MappingDeterminer(config).map(profile)
+    mapped_bufs = [a.block_name for a in mda_result.plan.mapped_blocks()
+                   if a.block_name.endswith("_buf")]
+    assert mapped_bufs == ["late_buf"]  # the hotter, later block wins STT
+    result = plan_with_overlays(profile, mda_result)
+    assert len(result.overlays) == 1
+    overlay = result.overlays[0]
+    assert overlay.incoming == "early_buf"
+    assert overlay.host == "late_buf"
+    # early_buf must be mapped statically (frame owner at start)
+    statics = {a.home_address for a in result.schedule.static_actions()}
+    assert program.symbol("early_buf") in statics
+    assert program.symbol("late_buf") not in statics
+    # and the run must stay functionally correct
+    machine = Machine(program, config, schedule=result.schedule)
+    machine.run()
+    baseline = Machine(assemble(source), config)
+    baseline.run()
+    for symbol in ("early_buf", "late_buf"):
+        address = program.symbol(symbol)
+        assert (machine.memory.peek_bytes(address, 2048)
+                == baseline.memory.peek_bytes(address, 2048)), symbol
+
+
+def test_timed_trigger_fires_at_instruction_count():
+    source = """
+        .text
+        .func main
+main:   mov r0, #0
+loop:   add r0, r0, #1
+        cmp r0, #50
+        blt loop
+        halt
+        .endfunc
+        .data
+block:  .word 1, 2, 3, 4
+"""
+    program = assemble(source)
+    from repro.mem.hierarchy import DSPM_BASE
+    schedule = TransferSchedule()
+    schedule.actions.append(TransferAction(
+        "map", program.symbol("block"), 16, DSPM_BASE,
+        trigger_instruction=30))
+    machine = Machine(program, ftspm_config(), schedule=schedule)
+    machine.run()
+    assert len(machine.dma.records) == 1
+    assert machine.memory.remap_for(program.symbol("block")) is not None

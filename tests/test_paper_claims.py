@@ -1,0 +1,148 @@
+"""Integration: the paper's headline claims, end to end.
+
+Each test regenerates an evaluation artifact and asserts the *shape* the
+paper reports — who wins and by roughly what factor.  Absolute numbers
+differ (our substrate is an analytic simulator); EXPERIMENTS.md records
+the measured values next to the paper's.
+"""
+
+import math
+
+import pytest
+
+from repro.core.online import build_machine
+from repro.eval import run_experiment
+from repro.eval.structures import STRUCTURES, evaluate_structure
+from repro.faults.injector import InjectionCampaign
+from repro.workloads import mibench_names, synthetic_profile
+
+_SMALL = dict(array_words=96, outer_iterations=2)
+
+
+# --- Abstract: "reduces the SPM vulnerability by about 7x" ------------------
+
+def test_claim_vulnerability_reduction_about_7x():
+    result = run_experiment("fig5")
+    assert result.data["geomean_ratio"] > 5
+    assert result.data["min_ratio"] > 3
+
+
+# --- Abstract: "dynamic energy 77% less than pure NVM, 47% less than SRAM" --
+
+def test_claim_dynamic_energy_reductions():
+    result = run_experiment("fig7")
+    # paper: 0.53x SRAM and 0.23x STT; we accept the same direction with
+    # a generous band
+    assert result.data["ftspm_over_sram"] < 0.70
+    assert result.data["ftspm_over_stt"] < 0.60
+
+
+# --- Section V: static energy and power ---------------------------------------
+
+def test_claim_static_power_scalars_exact():
+    result = run_experiment("static-power")
+    assert result.data["ftspm"] == pytest.approx(7.1, abs=0.05)
+    assert result.data["baseline-sram"] == pytest.approx(15.8, abs=0.05)
+    assert result.data["baseline-sttram"] == pytest.approx(3.0, abs=0.05)
+
+
+def test_claim_static_energy_reduction():
+    result = run_experiment("fig6")
+    # paper prose: FTSPM ~45-55% below pure SRAM
+    assert result.data["ftspm_over_sram"] < 0.7
+    # pure STT-RAM always leaks least
+    assert result.data["stt_over_sram"] < result.data["ftspm_over_sram"]
+
+
+# --- Section V: endurance "three orders of magnitude" ---------------------------
+
+def test_claim_endurance_improvement():
+    result = run_experiment("fig8")
+    assert result.data["geomean_improvement"] > 100  # >= 2 orders
+
+
+# --- Section V: performance overhead "less than 1%" ------------------------------
+
+def test_claim_performance_overhead_negligible():
+    result = run_experiment("perf-overhead")
+    assert result.data["max_overhead_percent"] < 1.0
+
+
+# --- Section IV: case-study scalars (full simulation) -----------------------------
+
+@pytest.fixture(scope="module")
+def case_scalars():
+    return run_experiment("case-scalars", **_SMALL).data
+
+
+def test_claim_case_reliability_gap(case_scalars):
+    # paper: 86% vs 62% - FTSPM clearly more reliable
+    assert (case_scalars["reliability_ftspm"]
+            - case_scalars["reliability_sram"]) > 0.1
+
+
+def test_claim_case_dynamic_energy_reduction(case_scalars):
+    # paper: 44% less than the SRAM baseline
+    assert case_scalars["dynamic_reduction_vs_sram"] > 0.25
+
+
+def test_claim_case_static_energy_reduction(case_scalars):
+    # paper: 56% less than the SRAM baseline
+    assert case_scalars["static_reduction_vs_sram"] > 0.4
+
+
+def test_claim_case_not_slower(case_scalars):
+    assert case_scalars["perf_overhead_vs_sram"] < 0.01
+
+
+# --- cross-check: Monte-Carlo injection vs analytic AVF ----------------------------
+
+def test_injection_confirms_structure_ordering():
+    """Measured (codec-level) vulnerability must preserve the ordering
+    the analytic model reports: FTSPM well below the SRAM baseline."""
+    profile = synthetic_profile("susan")
+    results = {}
+    for structure in ("ftspm", "baseline-sram"):
+        evaluation = evaluate_structure(profile, structure)
+        campaign = InjectionCampaign(
+            evaluation.plan.avf_entries(profile),
+            evaluation.plan.total_spm_bytes(),
+            profile.total_cycles, seed=99)
+        results[structure] = campaign.run(trials=60_000).vulnerability
+    assert results["ftspm"] < results["baseline-sram"]
+
+
+def test_sttram_injection_always_benign():
+    profile = synthetic_profile("susan")
+    evaluation = evaluate_structure(profile, "baseline-sttram")
+    campaign = InjectionCampaign(
+        evaluation.plan.avf_entries(profile),
+        evaluation.plan.total_spm_bytes(),
+        profile.total_cycles, seed=5)
+    result = campaign.run(trials=20_000)
+    assert result.harmful == 0
+
+
+# --- whole-suite sanity --------------------------------------------------------------
+
+def test_every_benchmark_evaluates_on_every_structure():
+    for name in mibench_names():
+        profile = synthetic_profile(name)
+        for structure in STRUCTURES:
+            evaluation = evaluate_structure(profile, structure)
+            assert evaluation.cycles > 0
+            assert 0.0 <= evaluation.vulnerability <= 1.0
+
+
+def test_full_pipeline_crc32_kernel(crc_build, crc_profile, ftspm_cfg):
+    """Real kernel through profile -> MDA -> FTSPM run -> golden check."""
+    from repro.core.mda import MappingDeterminer
+    result = MappingDeterminer(ftspm_cfg).map(crc_profile)
+    machine = build_machine(crc_build.program, ftspm_cfg, result.plan,
+                            crc_profile)
+    machine.run()
+    for symbol, expected in crc_build.expected.items():
+        address = crc_build.program.symbol(symbol)
+        got = int.from_bytes(machine.memory.peek_bytes(address, 4),
+                             "little")
+        assert got == expected

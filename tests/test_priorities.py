@@ -1,0 +1,83 @@
+"""Thresholds and optimisation-mode presets."""
+
+import math
+
+import pytest
+
+from repro.core.priorities import (
+    OptimizationMode,
+    Thresholds,
+    thresholds_for_mode,
+)
+from repro.errors import MappingError
+
+
+def test_default_thresholds():
+    thresholds = Thresholds()
+    assert thresholds.performance_overhead == 1.0
+    assert thresholds.energy_overhead == 10.0
+    assert thresholds.write_fraction == 0.05
+    assert thresholds.write_count is None
+
+
+def test_write_threshold_from_fraction():
+    thresholds = Thresholds(write_fraction=0.05)
+    assert thresholds.write_threshold(1000) == pytest.approx(50.0)
+
+
+def test_write_threshold_absolute_override():
+    thresholds = Thresholds(write_fraction=0.05, write_count=123)
+    assert thresholds.write_threshold(10**9) == 123
+
+
+def test_write_threshold_infinite_fraction():
+    thresholds = Thresholds(write_fraction=float("inf"))
+    assert thresholds.write_threshold(1000) == float("inf")
+
+
+def test_write_threshold_negative_fraction_rejected():
+    thresholds = Thresholds(write_fraction=-0.1)
+    with pytest.raises(MappingError):
+        thresholds.write_threshold(100)
+
+
+def test_every_mode_has_a_preset():
+    for mode in OptimizationMode:
+        thresholds = thresholds_for_mode(mode)
+        assert isinstance(thresholds, Thresholds)
+
+
+def test_reliability_mode_disables_all_budgets():
+    thresholds = thresholds_for_mode(OptimizationMode.RELIABILITY)
+    assert math.isinf(thresholds.performance_overhead)
+    assert math.isinf(thresholds.energy_overhead)
+    assert math.isinf(thresholds.write_fraction)
+
+
+def test_performance_mode_is_tightest_on_performance():
+    performance = thresholds_for_mode(OptimizationMode.PERFORMANCE)
+    balanced = thresholds_for_mode(OptimizationMode.BALANCED)
+    assert (performance.performance_overhead
+            < balanced.performance_overhead)
+
+
+def test_power_mode_is_tightest_on_energy():
+    power = thresholds_for_mode(OptimizationMode.POWER)
+    balanced = thresholds_for_mode(OptimizationMode.BALANCED)
+    assert power.energy_overhead < balanced.energy_overhead
+
+
+def test_endurance_mode_is_tightest_on_writes():
+    endurance = thresholds_for_mode(OptimizationMode.ENDURANCE)
+    balanced = thresholds_for_mode(OptimizationMode.BALANCED)
+    assert endurance.write_fraction < balanced.write_fraction
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(MappingError):
+        thresholds_for_mode("fastest")
+
+
+def test_mode_round_trip_by_value():
+    assert OptimizationMode("balanced") is OptimizationMode.BALANCED
+    assert OptimizationMode("endurance") is OptimizationMode.ENDURANCE

@@ -1,0 +1,180 @@
+"""Profiler: block extraction, counters, life-times, ACE, stack."""
+
+import pytest
+
+from repro import Machine, assemble, baseline_sram_config
+from repro.errors import ProfileError
+from repro.profile import (
+    BlockKind,
+    Profiler,
+    STACK_BLOCK_NAME,
+    enumerate_blocks,
+    format_profile_table,
+    profile_program,
+)
+
+_SOURCE = """
+        .text
+        .func main
+main:   ldr r1, =alpha
+        ldr r2, =beta
+        mov r0, #0
+loop:   ldr r3, [r1, r0]
+        add r3, r3, #1
+        str r3, [r2, r0]
+        add r0, r0, #4
+        cmp r0, #16
+        blt loop
+        bl helper
+        halt
+        .endfunc
+        .func helper
+helper: push {lr}
+        mov r0, #1
+        pop {pc}
+        .endfunc
+        .data
+alpha:  .word 1, 2, 3, 4
+beta:   .word 0, 0, 0, 0
+"""
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_program(assemble(_SOURCE))
+
+
+def test_enumerate_blocks_kinds():
+    program = assemble(_SOURCE)
+    blocks = {b.name: b for b in enumerate_blocks(program)}
+    assert blocks["main"].kind is BlockKind.CODE
+    assert blocks["alpha"].kind is BlockKind.DATA
+    assert blocks[STACK_BLOCK_NAME].kind is BlockKind.STACK
+
+
+def test_enumerate_blocks_rejects_duplicates():
+    program = assemble(_SOURCE)
+    program.code_blocks.append(program.code_blocks[0])
+    with pytest.raises(ProfileError):
+        enumerate_blocks(program)
+
+
+def test_code_block_fetch_counts(profile):
+    main = profile.get("main")
+    helper = profile.get("helper")
+    # helper: 3 instructions executed once
+    assert helper.reads == 3
+    # main: 4 setup + 6 per loop iteration * 4 + bl + halt
+    assert main.reads == profile.total_instructions - helper.reads
+
+
+def test_data_read_write_counts(profile):
+    assert profile.get("alpha").reads == 4
+    assert profile.get("alpha").writes == 0
+    assert profile.get("beta").writes == 4
+    assert profile.get("beta").reads == 0
+
+
+def test_stack_block_counts_push_pop(profile):
+    stack = profile.get(STACK_BLOCK_NAME)
+    assert stack.writes == 1  # push {lr}
+    assert stack.reads == 1  # pop {pc}
+
+
+def test_stack_block_shrunk_to_footprint(profile):
+    stack = profile.get(STACK_BLOCK_NAME)
+    assert stack.size == 64  # one word used, rounded up to 64
+
+
+def test_stack_calls_attributed_to_callee(profile):
+    assert profile.get("helper").stack_calls == 1
+    assert profile.get("main").stack_calls == 0
+
+
+def test_max_stack_depth_observed(profile):
+    assert profile.get("helper").max_stack_bytes == 4
+
+
+def test_life_time_is_span(profile):
+    main = profile.get("main")
+    assert 0 < main.life_time <= profile.total_cycles
+    # alpha is read throughout the loop: long span
+    assert profile.get("alpha").life_time > 0
+
+
+def test_ace_accumulates_on_reads_only(profile):
+    # beta is written then never read: no ACE exposure
+    assert profile.get("beta").ace_cycles == 0
+    assert profile.get("alpha").ace_cycles > 0
+
+
+def test_references_count_episodes(profile):
+    # alpha/beta alternate each iteration: one episode per touch
+    assert profile.get("alpha").references == 4
+    assert profile.get("beta").references == 4
+
+
+def test_susceptibility_formula(profile):
+    alpha = profile.get("alpha")
+    assert alpha.susceptibility == alpha.accesses * alpha.life_time
+
+
+def test_avg_accesses_per_reference(profile):
+    alpha = profile.get("alpha")
+    assert alpha.avg_reads_per_reference == pytest.approx(1.0)
+    assert alpha.avg_writes_per_reference == 0.0
+
+
+def test_by_susceptibility_ordering(profile):
+    ordered = profile.by_susceptibility()
+    values = [s.susceptibility for s in ordered]
+    assert values == sorted(values, reverse=True)
+
+
+def test_data_blocks_include_stack(profile):
+    names = {s.name for s in profile.data_blocks()}
+    assert names == {"alpha", "beta", STACK_BLOCK_NAME}
+
+
+def test_code_blocks(profile):
+    names = {s.name for s in profile.code_blocks()}
+    assert names == {"main", "helper"}
+
+
+def test_get_unknown_block_raises(profile):
+    with pytest.raises(ProfileError):
+        profile.get("nope")
+
+
+def test_total_accesses(profile):
+    assert profile.total_accesses() == sum(
+        s.accesses for s in profile.blocks.values())
+
+
+def test_profiler_detach_stops_counting():
+    program = assemble(_SOURCE)
+    machine = Machine(program, baseline_sram_config())
+    profiler = Profiler(machine).attach()
+    profiler.detach()
+    machine.run()
+    profile = profiler.finish()
+    assert profile.get("main").reads == 0
+
+
+def test_profiler_double_attach_rejected():
+    program = assemble(_SOURCE)
+    machine = Machine(program, baseline_sram_config())
+    profiler = Profiler(machine).attach()
+    with pytest.raises(ProfileError):
+        profiler.attach()
+
+
+def test_format_profile_table_renders(profile):
+    text = format_profile_table(profile, title="T")
+    assert "main" in text
+    assert "alpha" in text
+    assert "Life-Time" in text
+
+
+def test_profile_total_cycles_positive(profile):
+    assert profile.total_cycles > profile.total_instructions

@@ -1,0 +1,140 @@
+"""Program image validation, SPM construction errors, misc coverage."""
+
+import pytest
+
+from repro import assemble, ftspm_config
+from repro.config import MemoryTechnology, Protection, RegionConfig, SpmConfig
+from repro.errors import AssemblyError, ConfigurationError
+from repro.isa.program import CodeBlock, DataObject, Program
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.mem import SramDevice, build_scratchpad
+from repro.mem.spm import Scratchpad
+
+_SOURCE = """
+        .text
+        .func main
+main:   nop
+        halt
+        .endfunc
+        .func helper
+helper: bx lr
+        .endfunc
+        .data
+table:  .word 1, 2
+buffer: .space 8
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(_SOURCE)
+
+
+def test_code_block_lookup(program):
+    main = program.code_blocks[0]
+    assert program.code_block_at(main.start).name == "main"
+    assert program.code_block_at(main.end) is not None  # helper follows
+    assert program.code_block_at(0x5000) is None
+
+
+def test_data_object_lookup(program):
+    table = program.symbol("table")
+    assert program.data_object_at(table).name == "table"
+    assert program.data_object_at(table + 8).name == "buffer"
+    assert program.data_object_at(table + 16) is None
+
+
+def test_text_and_data_extents(program):
+    assert program.text_size == 12  # three instructions
+    assert program.data_size == 16
+    assert program.text_end == program.text_base + 12
+    assert program.data_end == program.data_base + 16
+
+
+def test_unknown_symbol_raises(program):
+    with pytest.raises(AssemblyError):
+        program.symbol("ghost")
+
+
+def test_iter_instructions_ordered(program):
+    addresses = [address for address, _ in program.iter_instructions()]
+    assert addresses == sorted(addresses)
+
+
+def test_validate_rejects_misaligned_code_block():
+    program = Program(
+        instructions={0x10000: Instruction(Mnemonic.HALT)},
+        entry=0x10000,
+        code_blocks=[CodeBlock("f", 0x10001, 0x10005)],
+    )
+    with pytest.raises(AssemblyError):
+        program.validate()
+
+
+def test_validate_rejects_inverted_code_block():
+    program = Program(
+        instructions={0x10000: Instruction(Mnemonic.HALT)},
+        entry=0x10000,
+        code_blocks=[CodeBlock("f", 0x10004, 0x10004)],
+    )
+    with pytest.raises(AssemblyError):
+        program.validate()
+
+
+def test_validate_rejects_overlapping_data_objects():
+    program = Program(
+        instructions={0x10000: Instruction(Mnemonic.HALT)},
+        entry=0x10000,
+        data_objects=[DataObject("a", 0x100000, 16),
+                      DataObject("b", 0x100008, 16)],
+    )
+    with pytest.raises(AssemblyError):
+        program.validate()
+
+
+def test_validate_rejects_entry_without_instruction():
+    program = Program(instructions={0x10000: Instruction(Mnemonic.HALT)},
+                      entry=0x20000)
+    with pytest.raises(AssemblyError):
+        program.validate()
+
+
+# --- scratchpad construction ----------------------------------------------
+
+def test_scratchpad_rejects_gap_in_layout():
+    devices = [SramDevice("a", 0x1000, 64), SramDevice("b", 0x1080, 64)]
+    with pytest.raises(ConfigurationError):
+        Scratchpad("spm", 0x1000, devices)
+
+
+def test_scratchpad_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        Scratchpad("spm", 0, [])
+
+
+def test_build_scratchpad_rejects_dram_region():
+    region = RegionConfig("weird", MemoryTechnology.DRAM,
+                          Protection.NONE, 1024, 1, 1)
+    spm_config = SpmConfig("spm", (region,))
+    with pytest.raises(ConfigurationError):
+        build_scratchpad(spm_config, 0x1000)
+
+
+def test_build_scratchpad_uses_zero_energy_without_models():
+    spm = build_scratchpad(ftspm_config().data_spm, 0x5000_0000)
+    for device in spm.devices:
+        assert device.energy_model.read_energy == 0.0
+
+
+# --- profile misc ------------------------------------------------------------
+
+def test_by_susceptibility_ascending(case_profile):
+    ordered = case_profile.by_susceptibility(descending=False)
+    values = [stats.susceptibility for stats in ordered]
+    assert values == sorted(values)
+
+
+def test_profile_subset_ordering(case_profile):
+    data_only = case_profile.by_susceptibility(case_profile.data_blocks())
+    assert {stats.name for stats in data_only} == {
+        stats.name for stats in case_profile.data_blocks()}

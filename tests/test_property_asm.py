@@ -1,0 +1,107 @@
+"""Property-based round trip: disassemble(assemble(x)) re-assembles.
+
+Generates random (but well-formed) instruction sequences, assembles
+them, disassembles every instruction, reassembles the disassembly, and
+checks the decoded programs are operand-for-operand identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.isa.disasm import disassemble
+from repro.isa.program import TEXT_BASE
+
+registers = st.integers(min_value=0, max_value=12).map(lambda n: "r%d" % n)
+immediates = st.integers(min_value=-4095, max_value=0xFFFF).map(
+    lambda v: "#%d" % v)
+operand2 = st.one_of(registers, immediates)
+
+data_ops = st.sampled_from(
+    ["add", "sub", "rsb", "and", "orr", "eor", "bic", "lsl", "lsr", "asr"])
+flag_suffix = st.sampled_from(["", "s"])
+conditions = st.sampled_from(
+    ["", "eq", "ne", "lt", "le", "gt", "ge", "hs", "lo", "hi", "ls",
+     "mi", "pl"])
+
+
+@st.composite
+def data_instruction(draw):
+    op = draw(data_ops)
+    suffix = draw(conditions) + draw(flag_suffix)
+    # pre-UAL order: condition then s is also accepted; keep cond+s split
+    mnemonic = op + draw(st.sampled_from([""])) + suffix
+    rd = draw(registers)
+    rn = draw(registers)
+    op2 = draw(operand2)
+    return "%s %s, %s, %s" % (mnemonic, rd, rn, op2)
+
+
+@st.composite
+def move_instruction(draw):
+    mnemonic = draw(st.sampled_from(["mov", "mvn"])) + draw(conditions)
+    return "%s %s, %s" % (mnemonic, draw(registers), draw(operand2))
+
+
+@st.composite
+def memory_instruction(draw):
+    mnemonic = draw(st.sampled_from(["ldr", "str", "ldrb", "strb"]))
+    rd = draw(registers)
+    base = draw(registers)
+    offset = draw(st.one_of(
+        st.just(None), registers,
+        st.integers(min_value=-256, max_value=256).map(lambda v: "#%d" % v)))
+    if offset is None:
+        return "%s %s, [%s]" % (mnemonic, rd, base)
+    return "%s %s, [%s, %s]" % (mnemonic, rd, base, offset)
+
+
+@st.composite
+def push_pop_instruction(draw):
+    numbers = sorted(draw(st.sets(
+        st.integers(min_value=0, max_value=12), min_size=1, max_size=6)))
+    regs = ", ".join("r%d" % n for n in numbers)
+    return "%s {%s}" % (draw(st.sampled_from(["push", "pop"])), regs)
+
+
+instruction_lines = st.one_of(
+    data_instruction(), move_instruction(), memory_instruction(),
+    push_pop_instruction())
+
+
+def wrap(lines):
+    return (".text\n.func main\nmain:\n"
+            + "\n".join(lines) + "\nhalt\n.endfunc\n")
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(instruction_lines, min_size=1, max_size=12))
+def test_assemble_disassemble_round_trip(lines):
+    program = assemble(wrap(lines))
+    disassembly = [disassemble(instruction)
+                   for _, instruction in program.iter_instructions()]
+    reassembled = assemble(wrap(disassembly[:-1]))  # drop the halt
+    assert len(reassembled.instructions) == len(program.instructions)
+    for address in program.instructions:
+        first = program.instructions[address]
+        second = reassembled.instructions[address]
+        assert first.mnemonic is second.mnemonic, disassembly
+        assert first.condition is second.condition
+        assert first.set_flags == second.set_flags
+        for a, b in zip(first.operands, second.operands):
+            assert a.kind is b.kind
+            # immediates compare modulo 2^32 (the executor masks anyway)
+            if a.is_immediate:
+                assert a.value & 0xFFFFFFFF == b.value & 0xFFFFFFFF
+            else:
+                assert a.value == b.value
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(instruction_lines, min_size=1, max_size=8))
+def test_every_assembled_program_has_contiguous_addresses(lines):
+    program = assemble(wrap(lines))
+    addresses = sorted(program.instructions)
+    assert addresses[0] == TEXT_BASE
+    for first, second in zip(addresses, addresses[1:]):
+        assert second - first == 4

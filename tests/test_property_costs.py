@@ -1,0 +1,105 @@
+"""Property-based tests: cost model and structure-evaluation sanity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ftspm_config
+from repro.core import MappingPlan, ScenarioCostModel
+from repro.eval.structures import STRUCTURES, evaluate_structure
+from repro.profile.blocks import BlockKind, ProgramBlock
+from repro.profile.profiler import BlockStats, Profile
+
+KB = 1024
+
+
+def build_profile(specs):
+    blocks = {}
+    cursor = 0x1000
+    total_cycles = 2_000_000
+    for index, (size, reads, writes, ace) in enumerate(specs):
+        name = "d%d" % index
+        stats = BlockStats(block=ProgramBlock(
+            name, BlockKind.DATA, cursor, size))
+        cursor += size
+        stats.reads = reads
+        stats.writes = writes
+        stats.references = max(1, (reads + writes) // 50)
+        stats.first_touch_cycle = 0
+        stats.last_touch_cycle = total_cycles // 2
+        stats.ace_cycles = int(ace * total_cycles)
+        blocks[name] = stats
+    return Profile(program=None, blocks=blocks,
+                   total_cycles=total_cycles,
+                   total_instructions=total_cycles // 2)
+
+
+data_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=64, max_value=2 * KB),
+        st.integers(min_value=0, max_value=500_000),
+        st.integers(min_value=0, max_value=200_000),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1, max_size=6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data_specs)
+def test_costs_are_finite_and_nonnegative(specs):
+    profile = build_profile(specs)
+    config = ftspm_config()
+    model = ScenarioCostModel(profile, config)
+    plan = MappingPlan.empty(config)
+    for stats in profile.blocks.values():
+        if plan.slots["dspm-stt"].fits(stats.size):
+            plan.assign(stats, "dspm-stt")
+        else:
+            plan.leave_unmapped(stats)
+    cost = model.cost_of(plan)
+    assert cost.memory_cycles >= 0
+    assert cost.transfer_cycles >= 0
+    assert cost.dynamic_energy >= 0
+    assert cost.total_cycles >= cost.base_cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(data_specs, st.integers(min_value=0, max_value=5))
+def test_mapping_into_parity_never_increases_memory_cycles(specs, pick):
+    """Parity SRAM is the 1-cycle extreme: moving any block from the
+    cache into parity cannot increase its memory cycles."""
+    profile = build_profile(specs)
+    config = ftspm_config()
+    model = ScenarioCostModel(profile, config)
+    names = sorted(profile.blocks)
+    target = names[pick % len(names)]
+
+    unmapped = MappingPlan.empty(config)
+    for stats in profile.blocks.values():
+        unmapped.leave_unmapped(stats)
+    mapped = MappingPlan.empty(config)
+    for stats in profile.blocks.values():
+        if (stats.name == target
+                and mapped.slots["dspm-parity"].fits(stats.size)):
+            mapped.assign(stats, "dspm-parity")
+        else:
+            mapped.leave_unmapped(stats)
+
+    base = model.cost_of(unmapped, include_transfers=False)
+    better = model.cost_of(mapped, include_transfers=False)
+    assert better.memory_cycles <= base.memory_cycles + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(data_specs)
+def test_structure_evaluation_invariants(specs):
+    profile = build_profile(specs)
+    profile.source_name = "property"
+    for structure in STRUCTURES:
+        evaluation = evaluate_structure(profile, structure)
+        assert 0.0 <= evaluation.vulnerability <= 1.0
+        assert evaluation.dynamic_energy >= 0
+        assert evaluation.static_energy >= 0
+        assert evaluation.cycles > 0
+        assert evaluation.max_cell_write_rate >= 0
+        if structure == "baseline-sttram":
+            assert evaluation.vulnerability == 0.0

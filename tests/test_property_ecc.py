@@ -1,0 +1,94 @@
+"""Property-based tests for the ECC codecs (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import DecodeOutcome, ParityCodec, SecDedCodec
+
+parity = ParityCodec(32)
+secded = SecDedCodec(64)
+
+words32 = st.integers(min_value=0, max_value=2**32 - 1)
+words64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@given(words32)
+def test_parity_roundtrip_any_word(data):
+    result = parity.decode(parity.encode(data))
+    assert result.outcome is DecodeOutcome.CLEAN
+    assert result.data == data
+
+
+@given(words32, st.integers(min_value=0, max_value=32))
+def test_parity_single_flip_always_detected(data, bit):
+    corrupted = parity.encode(data) ^ (1 << bit)
+    assert parity.decode(corrupted).outcome is (
+        DecodeOutcome.DETECTED_UNCORRECTABLE)
+
+
+@given(words32, st.sets(st.integers(min_value=0, max_value=32),
+                        min_size=1, max_size=9))
+def test_parity_odd_flips_detected_even_flips_silent(data, bits):
+    corrupted = parity.encode(data)
+    for bit in bits:
+        corrupted ^= 1 << bit
+    outcome = parity.decode(corrupted).outcome
+    if len(bits) % 2:
+        assert outcome is DecodeOutcome.DETECTED_UNCORRECTABLE
+    else:
+        assert outcome is DecodeOutcome.CLEAN
+
+
+@given(words64)
+def test_secded_roundtrip_any_word(data):
+    result = secded.decode(secded.encode(data))
+    assert result.outcome is DecodeOutcome.CLEAN
+    assert result.data == data
+
+
+@given(words64, st.integers(min_value=0, max_value=71))
+def test_secded_corrects_any_single_flip(data, bit):
+    corrupted = secded.encode(data) ^ (1 << bit)
+    result = secded.decode(corrupted)
+    assert result.outcome is DecodeOutcome.CORRECTED
+    assert result.data == data
+
+
+@given(words64,
+       st.lists(st.integers(min_value=0, max_value=71),
+                min_size=2, max_size=2, unique=True))
+def test_secded_detects_any_double_flip(data, bits):
+    corrupted = secded.encode(data)
+    for bit in bits:
+        corrupted ^= 1 << bit
+    result = secded.decode(corrupted)
+    assert result.outcome is DecodeOutcome.DETECTED_UNCORRECTABLE
+
+
+@given(words64)
+def test_secded_codeword_positions_xor_to_zero(data):
+    """Structural invariant of Hamming codes: position-XOR of set bits
+    in a valid codeword is zero."""
+    codeword = secded.encode(data)
+    syndrome = 0
+    bits = codeword >> 1
+    position = 1
+    while bits:
+        if bits & 1:
+            syndrome ^= position
+        bits >>= 1
+        position += 1
+    assert syndrome == 0
+
+
+@given(words64)
+def test_secded_never_silently_wrong_below_three_flips(data):
+    """For multiplicity <= 2, SEC-DED never produces wrong data while
+    claiming success (the guarantee the paper's eq. (5)/(7) encode)."""
+    from repro.ecc.codec import ErrorClass
+    codeword = secded.encode(data)
+    for bit in (0, 35, 71):
+        assert secded.classify(data, codeword ^ (1 << bit)) is (
+            ErrorClass.DRE)
+    assert secded.classify(
+        data, codeword ^ 0b11) is not ErrorClass.SDC

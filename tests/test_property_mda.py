@@ -1,0 +1,105 @@
+"""Property-based tests: MDA plans are always structurally legal."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ftspm_config
+from repro.config import MemoryTechnology
+from repro.core.mda import MappingDeterminer
+from repro.profile.blocks import BlockKind, ProgramBlock
+from repro.profile.profiler import BlockStats, Profile
+
+KB = 1024
+
+_block_specs = st.lists(
+    st.tuples(
+        st.sampled_from([BlockKind.CODE, BlockKind.DATA]),
+        st.integers(min_value=64, max_value=6 * KB),      # size
+        st.integers(min_value=0, max_value=2_000_000),    # reads
+        st.integers(min_value=0, max_value=1_000_000),    # writes
+        st.floats(min_value=0.0, max_value=1.0),          # ace fraction
+    ),
+    min_size=1, max_size=10,
+)
+
+
+def build_profile(specs):
+    total_cycles = 2_000_000
+    blocks = {}
+    cursor = 0x1000
+    for index, (kind, size, reads, writes, ace) in enumerate(specs):
+        name = "b%d" % index
+        stats = BlockStats(
+            block=ProgramBlock(name, kind, cursor, size))
+        cursor += size
+        stats.reads = reads
+        stats.writes = 0 if kind is BlockKind.CODE else writes
+        stats.references = max(1, reads // 100)
+        stats.first_touch_cycle = 0
+        stats.last_touch_cycle = total_cycles // 2
+        stats.ace_cycles = int(ace * total_cycles)
+        blocks[name] = stats
+    return Profile(program=None, blocks=blocks,
+                   total_cycles=total_cycles,
+                   total_instructions=total_cycles // 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_block_specs)
+def test_mda_plan_invariants(specs):
+    profile = build_profile(specs)
+    config = ftspm_config()
+    result = MappingDeterminer(config).map(profile)
+    plan = result.plan
+
+    # 1. every block has exactly one assignment
+    assert set(plan.assignments) == set(profile.blocks)
+
+    # 2. no region over capacity
+    for slot in plan.slots.values():
+        assert 0 <= slot.used <= slot.size
+
+    # 3. mapped blocks lie inside their region and do not overlap
+    by_region = {}
+    for assignment in plan.mapped_blocks():
+        stats = profile.get(assignment.block_name)
+        slot = plan.slots[assignment.region_name]
+        assert slot.base <= assignment.spm_address
+        assert assignment.spm_address + stats.size <= slot.base + slot.size
+        by_region.setdefault(assignment.region_name, []).append(
+            (assignment.spm_address, assignment.spm_address + stats.size))
+    for ranges in by_region.values():
+        ranges.sort()
+        for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert end_a <= start_b
+
+    # 4. code blocks never land in data-SPM regions and vice versa
+    for assignment in plan.mapped_blocks():
+        stats = profile.get(assignment.block_name)
+        slot = plan.slots[assignment.region_name]
+        if stats.kind is BlockKind.CODE:
+            assert slot.spm_name == "I-SPM"
+        else:
+            assert slot.spm_name == "D-SPM"
+
+    # 5. endurance guard: every data block left in STT respects the
+    # write threshold (unless it bounced back for lack of SRAM space)
+    bounced = {d.block for d in result.decisions
+               if d.action == "map-dspm-stt"}
+    for assignment in plan.blocks_in_region("dspm-stt"):
+        stats = profile.get(assignment.block_name)
+        if assignment.block_name not in bounced:
+            assert stats.writes <= result.write_threshold
+
+
+@settings(max_examples=30, deadline=None)
+@given(_block_specs)
+def test_mda_deterministic(specs):
+    profile_a = build_profile(specs)
+    profile_b = build_profile(specs)
+    config = ftspm_config()
+    plan_a = MappingDeterminer(config).map(profile_a).plan
+    plan_b = MappingDeterminer(config).map(profile_b).plan
+    placements_a = {n: a.region_name for n, a in plan_a.assignments.items()}
+    placements_b = {n: a.region_name for n, a in plan_b.assignments.items()}
+    assert placements_a == placements_b

@@ -1,0 +1,100 @@
+"""Property-based tests: CPU arithmetic against Python semantics, and
+memory devices as a reference store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import assemble, Machine, baseline_sram_config
+from repro.mem import SramDevice
+
+_MASK = 0xFFFFFFFF
+
+small_ints = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+uints = st.integers(min_value=0, max_value=_MASK)
+
+
+def run_binop(op, a, b):
+    source = """
+        .text
+        .func main
+main:   mov r1, #%d
+        mov r2, #%d
+        %s r0, r1, r2
+        halt
+        .endfunc
+""" % (a, b, op)
+    machine = Machine(assemble(source), baseline_sram_config())
+    machine.run()
+    return machine.cpu.state.registers[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_ints, small_ints)
+def test_add_matches_python(a, b):
+    assert run_binop("add", a, b) == (a + b) & _MASK
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_ints, small_ints)
+def test_sub_matches_python(a, b):
+    assert run_binop("sub", a, b) == (a - b) & _MASK
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_ints, small_ints)
+def test_mul_matches_python(a, b):
+    assert run_binop("mul", a, b) == (a * b) & _MASK
+
+
+@settings(max_examples=30, deadline=None)
+@given(uints, uints)
+def test_logic_matches_python(a, b):
+    assert run_binop("and", a, b) == (a & b) & _MASK
+    assert run_binop("orr", a, b) == (a | b) & _MASK
+    assert run_binop("eor", a, b) == (a ^ b) & _MASK
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_ints, small_ints)
+def test_signed_comparison_matches_python(a, b):
+    source = """
+        .text
+        .func main
+main:   mov r1, #%d
+        mov r2, #%d
+        cmp r1, r2
+        movlt r0, #1
+        movge r0, #2
+        halt
+        .endfunc
+""" % (a, b)
+    machine = Machine(assemble(source), baseline_sram_config())
+    machine.run()
+    expected = 1 if a < b else 2
+    assert machine.cpu.state.registers[0] == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=64),
+       st.integers(min_value=0, max_value=192))
+def test_device_stores_bytes_faithfully(payload, offset):
+    device = SramDevice("ref", base=0, size=256)
+    if offset + len(payload) > 256:
+        offset = 256 - len(payload)
+    device.poke_bytes(offset, payload)
+    assert device.peek_bytes(offset, len(payload)) == payload
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=63), uints),
+                min_size=1, max_size=20))
+def test_device_word_writes_match_dict_model(writes):
+    """Device behaves like a dict from word index to last-written value."""
+    device = SramDevice("ref", base=0, size=256)
+    model = {}
+    for index, value in writes:
+        device.write(index * 4, 4, value)
+        model[index] = value
+    for index, value in model.items():
+        assert device.read(index * 4, 4).value == value
+    assert device.stats.writes == len(writes)

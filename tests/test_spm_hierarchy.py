@@ -1,0 +1,183 @@
+"""Scratchpad composition, address routing, and remapping."""
+
+import pytest
+
+from repro import ftspm_config
+from repro.config import Protection
+from repro.errors import ConfigurationError, MemoryAccessError
+from repro.mem import MemorySystem, SttRamDevice, build_scratchpad
+from repro.mem.hierarchy import AccessType, DSPM_BASE, ISPM_BASE
+
+
+@pytest.fixture
+def memory():
+    return MemorySystem(ftspm_config())
+
+
+def test_scratchpad_layout_is_contiguous():
+    spm = build_scratchpad(ftspm_config().data_spm, DSPM_BASE)
+    parity, secded, stt = spm.devices
+    assert parity.base == DSPM_BASE
+    assert secded.base == parity.end
+    assert stt.base == secded.end
+    assert spm.size == 16 * 1024
+
+
+def test_region_of_routes_by_address(memory):
+    spm = memory.data_spm
+    assert spm.region_of(DSPM_BASE).name == "dspm-parity"
+    assert spm.region_of(DSPM_BASE + 2048).name == "dspm-secded"
+    assert spm.region_of(DSPM_BASE + 4096).name == "dspm-stt"
+
+
+def test_region_of_outside_raises(memory):
+    with pytest.raises(MemoryAccessError):
+        memory.data_spm.region_of(DSPM_BASE + 16 * 1024)
+
+
+def test_region_named_lookup(memory):
+    assert memory.data_spm.region_named("dspm-stt").size == 12 * 1024
+    with pytest.raises(ConfigurationError):
+        memory.data_spm.region_named("nope")
+
+
+def test_spm_read_write(memory):
+    spm = memory.data_spm
+    spm.write(DSPM_BASE + 100, 4, 0x1234)
+    assert spm.read(DSPM_BASE + 100, 4).value == 0x1234
+
+
+def test_access_straddling_regions_raises(memory):
+    with pytest.raises(MemoryAccessError):
+        memory.data_spm.read(DSPM_BASE + 2046, 4)
+
+
+def test_sttram_region_has_correct_type(memory):
+    stt = memory.data_spm.region_named("dspm-stt")
+    assert isinstance(stt, SttRamDevice)
+    assert stt.protection is Protection.IMMUNE
+
+
+def test_dram_accesses_go_through_cache(memory):
+    memory.access(0x1000, 4, False)
+    assert memory.cache.stats.accesses == 1
+
+
+def test_direct_spm_window_access(memory):
+    result = memory.access(ISPM_BASE, 4, False)
+    assert result.device_name == "ispm-stt"
+
+
+def test_unmapped_address_raises(memory):
+    with pytest.raises(MemoryAccessError):
+        memory.access(0x9000_0000, 4, False)
+
+
+def test_remap_redirects_accesses(memory):
+    memory.dram.poke_word(0x4000, 0xBEEF)
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    # the remap does not copy - route only (DMA copies); poke to SPM
+    memory.data_spm.region_of(DSPM_BASE).poke_word(DSPM_BASE, 0xBEEF)
+    result = memory.access(0x4000, 4, False)
+    assert result.device_name == "dspm-parity"
+    assert result.value == 0xBEEF
+
+
+def test_remap_for_lookup(memory):
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    assert memory.remap_for(0x4000) is not None
+    assert memory.remap_for(0x403F) is not None
+    assert memory.remap_for(0x4040) is None
+    assert memory.remap_for(0x3FFF) is None
+
+
+def test_access_straddling_remap_end_rejected(memory):
+    """Running past a mapped block's end must fail loudly, not read the
+    stale DRAM copy of the mapped bytes."""
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    with pytest.raises(MemoryAccessError):
+        memory.access(0x403E, 4, False)
+    # the last fully-contained word is fine
+    memory.access(0x403C, 4, False)
+
+
+def test_remove_remap_restores_routing(memory):
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    memory.remove_remap(0x4000)
+    result = memory.access(0x4000, 4, False)
+    assert result.device_name == "l1-cache"
+
+
+def test_remove_unknown_remap_raises(memory):
+    with pytest.raises(ConfigurationError):
+        memory.remove_remap(0x4000)
+
+
+def test_overlapping_remaps_rejected(memory):
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    with pytest.raises(ConfigurationError):
+        memory.install_remap(0x4020, 64, DSPM_BASE + 256)
+    with pytest.raises(ConfigurationError):
+        memory.install_remap(0x3FF0, 32, DSPM_BASE + 256)
+
+
+def test_remap_target_must_fit_spm(memory):
+    with pytest.raises(MemoryAccessError):
+        memory.install_remap(0x4000, 64, DSPM_BASE + 16 * 1024 - 16)
+
+
+def test_observer_sees_all_accesses(memory):
+    seen = []
+    memory.add_observer(
+        lambda *args: seen.append(args))
+    memory.access(0x1000, 4, False, access_type=AccessType.FETCH)
+    memory.access(0x2000, 4, True, value=5)
+    assert len(seen) == 2
+    assert seen[0][0] is AccessType.FETCH
+    assert seen[1][3] is True  # is_write
+
+
+def test_observer_gets_home_address_not_spm_address(memory):
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    seen = []
+    memory.add_observer(lambda *args: seen.append(args))
+    memory.access(0x4010, 4, False)
+    assert seen[0][1] == 0x4010
+
+
+def test_remove_observer(memory):
+    seen = []
+    observer = lambda *args: seen.append(args)
+    memory.add_observer(observer)
+    memory.remove_observer(observer)
+    memory.access(0x1000, 4, False)
+    assert not seen
+
+
+def test_peek_poke_follow_remap(memory):
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    memory.poke_bytes(0x4000, b"\x42\x00\x00\x00")
+    assert memory.peek_bytes(0x4000, 4) == b"\x42\x00\x00\x00"
+    parity = memory.data_spm.region_of(DSPM_BASE)
+    assert parity.peek_word(DSPM_BASE) == 0x42
+
+
+def test_total_leakage_is_sum_of_spm_regions():
+    from repro.tech.nvsim_lite import energy_models_for
+    config = ftspm_config()
+    memory = MemorySystem(config, energy_models_for(config))
+    assert memory.total_leakage_power() == pytest.approx(7.1e-3, rel=0.01)
+
+
+def test_aggregate_stats(memory):
+    memory.access(ISPM_BASE, 4, False)
+    memory.access(ISPM_BASE + 4, 4, False)
+    assert memory.instruction_spm.aggregate_stats().reads == 2
+
+
+def test_reset_stats(memory):
+    memory.access(ISPM_BASE, 4, False)
+    memory.access(0x1000, 4, False)
+    memory.reset_stats()
+    assert memory.instruction_spm.aggregate_stats().accesses == 0
+    assert memory.cache.stats.accesses == 0

@@ -1,0 +1,182 @@
+"""Technology models: calibration, scaling laws, codec circuits."""
+
+import pytest
+
+from repro.config import (
+    MemoryTechnology,
+    Protection,
+    baseline_sram_config,
+    baseline_sttram_config,
+    ftspm_config,
+)
+from repro.errors import ConfigurationError
+from repro.tech import (
+    ArrayModel,
+    energy_models_for,
+    node_params,
+    parity_codec,
+    redundancy_factor,
+    secded_codec,
+)
+
+
+def total_spm_leakage(config):
+    models = energy_models_for(config)
+    return sum(models[region.name].leakage_power
+               for spm in (config.instruction_spm, config.data_spm)
+               for region in spm.regions)
+
+
+# --- calibration against the paper's reported static powers ----------------
+
+def test_baseline_sram_static_power_is_15_8_mw():
+    assert total_spm_leakage(baseline_sram_config()) == pytest.approx(
+        15.8e-3, rel=0.005)
+
+
+def test_baseline_sttram_static_power_is_3_mw():
+    assert total_spm_leakage(baseline_sttram_config()) == pytest.approx(
+        3.0e-3, rel=0.005)
+
+
+def test_ftspm_static_power_is_7_1_mw():
+    assert total_spm_leakage(ftspm_config()) == pytest.approx(
+        7.1e-3, rel=0.005)
+
+
+# --- orderings the paper's Fig. 3 relies on ---------------------------------
+
+@pytest.fixture(scope="module")
+def model():
+    return ArrayModel(40)
+
+
+def test_stt_write_is_by_far_most_expensive(model):
+    stt = model.estimate("stt", MemoryTechnology.STT_RAM, 16 * 1024)
+    sram = model.estimate("sram", MemoryTechnology.SRAM, 16 * 1024,
+                          Protection.SECDED)
+    assert stt.write_energy > 5 * sram.write_energy
+
+
+def test_stt_read_cheaper_than_secded_sram_read(model):
+    stt = model.estimate("stt", MemoryTechnology.STT_RAM, 16 * 1024)
+    sram = model.estimate("sram", MemoryTechnology.SRAM, 16 * 1024,
+                          Protection.SECDED)
+    assert stt.read_energy < sram.read_energy
+
+
+def test_smaller_arrays_cost_less_energy(model):
+    small = model.estimate("s", MemoryTechnology.SRAM, 2 * 1024)
+    large = model.estimate("l", MemoryTechnology.SRAM, 16 * 1024)
+    assert small.read_energy < large.read_energy
+
+
+def test_sqrt_capacity_scaling(model):
+    e4 = model.estimate("a", MemoryTechnology.SRAM, 4 * 1024)
+    e16 = model.estimate("b", MemoryTechnology.SRAM, 16 * 1024)
+    assert e16.read_energy / e4.read_energy == pytest.approx(2.0, rel=0.01)
+
+
+def test_protection_adds_energy(model):
+    plain = model.estimate("p", MemoryTechnology.SRAM, 2048)
+    secded = model.estimate("s", MemoryTechnology.SRAM, 2048,
+                            Protection.SECDED)
+    assert secded.read_energy > plain.read_energy
+    assert secded.leakage_power > plain.leakage_power
+
+
+def test_stt_leakage_far_below_sram(model):
+    stt = model.estimate("stt", MemoryTechnology.STT_RAM, 16 * 1024)
+    sram = model.estimate("sram", MemoryTechnology.SRAM, 16 * 1024)
+    assert stt.leakage_power < 0.3 * sram.leakage_power
+
+
+def test_stt_denser_than_sram(model):
+    stt = model.estimate("stt", MemoryTechnology.STT_RAM, 16 * 1024)
+    sram = model.estimate("sram", MemoryTechnology.SRAM, 16 * 1024)
+    assert stt.area_mm2 < sram.area_mm2
+
+
+def test_dram_energy_not_capacity_scaled(model):
+    small = model.estimate("d1", MemoryTechnology.DRAM, 16 * 1024)
+    large = model.estimate("d2", MemoryTechnology.DRAM, 8 * 1024 * 1024)
+    assert small.read_energy == pytest.approx(large.read_energy)
+
+
+def test_energy_models_for_covers_all_regions():
+    config = ftspm_config()
+    models = energy_models_for(config)
+    for spm in (config.instruction_spm, config.data_spm):
+        for region in spm.regions:
+            assert region.name in models
+    assert "cache" in models and "dram" in models
+    assert models["dram"].leakage_power == 0.0
+
+
+# --- node parameter tables ----------------------------------------------------
+
+def test_known_nodes_available():
+    for node in (65, 45, 40, 32, 22):
+        params = node_params(node)
+        assert params.node_nm == node
+        assert sum(params.mbu_distribution) == pytest.approx(1.0)
+
+
+def test_unknown_node_raises():
+    with pytest.raises(ConfigurationError):
+        node_params(14)
+
+
+def test_mbu_distribution_at_40nm_matches_paper():
+    assert node_params(40).mbu_distribution == (0.62, 0.25, 0.06, 0.07)
+
+
+def test_single_bit_share_shrinks_with_scaling():
+    assert (node_params(65).mbu_distribution[0]
+            > node_params(40).mbu_distribution[0]
+            > node_params(22).mbu_distribution[0])
+
+
+def test_leakage_grows_as_nodes_shrink():
+    assert (node_params(32).sram.cell_leakage_per_kb
+            > node_params(40).sram.cell_leakage_per_kb
+            > node_params(65).sram.cell_leakage_per_kb)
+
+
+def test_redundancy_factors():
+    assert redundancy_factor(Protection.SECDED) == pytest.approx(1.125)
+    assert redundancy_factor(Protection.PARITY) == pytest.approx(1.03125)
+    assert redundancy_factor(Protection.NONE) == 1.0
+    assert redundancy_factor(Protection.IMMUNE) == 1.0
+
+
+# --- ECC circuit model ----------------------------------------------------------
+
+def test_parity_codec_gate_counts():
+    codec = parity_codec(40, word_bits=32)
+    assert codec.encode_gates == 31
+    assert codec.decode_gates == 32
+    assert codec.encode_depth == 5
+
+
+def test_secded_codec_larger_than_parity():
+    parity = parity_codec(40)
+    secded = secded_codec(40)
+    assert secded.decode_gates > 10 * parity.decode_gates
+    assert secded.decode_delay > parity.decode_delay
+    assert secded.decode_energy > parity.decode_energy
+
+
+def test_parity_fits_in_cycle_secded_does_not_at_high_clock():
+    # At a 1 GHz clock the SEC-DED decoder no longer fits the slack,
+    # justifying Table IV's extra cycle.
+    parity = parity_codec(40)
+    secded = secded_codec(40)
+    clock = 1.0e9
+    assert parity.fits_in_cycle(clock)
+    assert secded.extra_cycles(clock) >= parity.extra_cycles(clock)
+
+
+def test_secded_72_64_shape():
+    codec = secded_codec(40, data_bits=64)
+    assert "64" in codec.name

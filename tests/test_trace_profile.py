@@ -1,0 +1,83 @@
+"""Trace-based offline profiling vs the live profiler."""
+
+import pytest
+
+from repro import baseline_sram_config, ftspm_config
+from repro.core.mda import MappingDeterminer
+from repro.profile import profile_from_trace, profile_program
+from repro.workloads import kernel_program, record_trace
+from repro.workloads.case_study import case_study_program
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """(live profile, trace profile) of the same program."""
+    program = case_study_program(array_words=64, outer_iterations=2)
+    live = profile_program(program)
+    trace = record_trace(case_study_program(array_words=64,
+                                            outer_iterations=2),
+                         baseline_sram_config())
+    offline = profile_from_trace(trace, program)
+    return live, offline
+
+
+def test_counts_are_exact(pair):
+    live, offline = pair
+    for name, live_stats in live.blocks.items():
+        offline_stats = offline.get(name)
+        assert offline_stats.reads == live_stats.reads, name
+        assert offline_stats.writes == live_stats.writes, name
+
+
+def test_instruction_count_matches(pair):
+    live, offline = pair
+    assert offline.total_instructions == live.total_instructions
+
+
+def test_references_match(pair):
+    live, offline = pair
+    for name, live_stats in live.blocks.items():
+        assert offline.get(name).references == live_stats.references, name
+
+
+def test_stack_footprint_recovered(pair):
+    live, offline = pair
+    assert offline.get("Stack").size == live.get("Stack").size
+
+
+def test_stack_calls_approximation(pair):
+    """Entry-fetch episodes approximate call counts for call/return flow."""
+    live, offline = pair
+    for name in ("Mul", "Add"):
+        assert offline.get(name).stack_calls == live.get(name).stack_calls
+
+
+def test_susceptibility_ordering_preserved(pair):
+    """The MDA consumes ordinal susceptibility; trace time (record index)
+    must rank the data blocks the same way as cycle time."""
+    live, offline = pair
+    live_order = [s.name for s in live.by_susceptibility(
+        live.data_blocks())]
+    offline_order = [s.name for s in offline.by_susceptibility(
+        offline.data_blocks())]
+    assert live_order == offline_order
+
+
+def test_mda_placement_identical_from_trace(pair):
+    live, offline = pair
+    config = ftspm_config()
+    live_plan = MappingDeterminer(config).map(live).plan
+    offline_plan = MappingDeterminer(config).map(offline).plan
+    live_placement = {n: a.region_name
+                      for n, a in live_plan.assignments.items()}
+    offline_placement = {n: a.region_name
+                         for n, a in offline_plan.assignments.items()}
+    assert live_placement == offline_placement
+
+
+def test_kernel_trace_profile():
+    build = kernel_program("bitcount")
+    trace = record_trace(build.program, baseline_sram_config())
+    profile = profile_from_trace(trace, build.program)
+    assert profile.get("popcount").stack_calls == 256  # one bl per word
+    assert profile.get("input_words").reads == 256

@@ -1,0 +1,97 @@
+"""Unit helpers: conversions and formatting."""
+
+import pytest
+
+from repro.units import (
+    KB,
+    format_bytes,
+    format_energy,
+    format_lifetime,
+    format_power,
+    format_time,
+    kilobytes,
+    milliwatts,
+    nanojoules,
+    nanoseconds,
+    picojoules,
+)
+
+
+def test_kilobytes_are_binary():
+    assert kilobytes(16) == 16 * 1024
+
+
+def test_kilobytes_fractional():
+    assert kilobytes(0.5) == 512
+
+
+def test_picojoules_to_joules():
+    assert picojoules(1000) == pytest.approx(1e-9)
+
+
+def test_nanojoules_to_joules():
+    assert nanojoules(2) == pytest.approx(2e-9)
+
+
+def test_milliwatts_to_watts():
+    assert milliwatts(15.8) == pytest.approx(0.0158)
+
+
+def test_nanoseconds_to_seconds():
+    assert nanoseconds(2.5) == pytest.approx(2.5e-9)
+
+
+def test_format_time_picks_scale():
+    assert format_time(1.5) == "1.50 s"
+    assert format_time(0.0025) == "2.50 ms"
+    assert format_time(3.2e-6) == "3.20 us"
+    assert format_time(5e-9) == "5.00 ns"
+
+
+def test_format_energy_picks_scale():
+    assert format_energy(1.0) == "1.00 J"
+    assert format_energy(3e-12) == "3.00 pJ"
+    assert format_energy(4.7e-9) == "4.70 nJ"
+
+
+def test_format_power_picks_scale():
+    assert format_power(0.0071) == "7.10 mW"
+    assert format_power(2.0) == "2.00 W"
+
+
+def test_format_zero_values():
+    assert format_time(0) == "0 s"
+    assert format_energy(0) == "0 J"
+
+
+def test_format_subscale_value_uses_smallest_unit():
+    # below the smallest scale: still rendered in that unit
+    assert format_energy(0.5e-12) == "0.50 pJ"
+
+
+def test_format_bytes():
+    assert format_bytes(16 * KB) == "16 KB"
+    assert format_bytes(3 * 1024 * KB) == "3 MB"
+    assert format_bytes(100) == "100 B"
+
+
+def test_format_lifetime_minutes():
+    assert "minutes" in format_lifetime(40 * 60)
+
+
+def test_format_lifetime_days():
+    assert "days" in format_lifetime(61 * 24 * 3600)
+
+
+def test_format_lifetime_years():
+    assert "years" in format_lifetime(1.5 * 365 * 24 * 3600)
+
+
+def test_format_lifetime_seconds():
+    assert "seconds" in format_lifetime(10)
+
+
+def test_format_lifetime_matches_paper_row():
+    # 1e12 writes at ~4.2e8 writes/s is about 40 minutes (Table III row 1)
+    seconds = 1e12 / 4.2e8
+    assert "minutes" in format_lifetime(seconds)

@@ -1,0 +1,184 @@
+"""Workloads: case study, real kernels, synthetic suite consistency."""
+
+import pytest
+
+from repro import Machine, baseline_sram_config
+from repro.errors import ProfileError
+from repro.profile.blocks import BlockKind, STACK_BLOCK_NAME
+from repro.units import kilobytes
+from repro.workloads import (
+    CASE_STUDY_BLOCKS,
+    MIBENCH_SUITE,
+    case_study_program,
+    case_study_source,
+    kernel_names,
+    kernel_program,
+    mibench_names,
+    synthetic_profile,
+)
+
+
+# --- case study -----------------------------------------------------------
+
+def test_case_study_has_papers_blocks(case_profile):
+    assert set(case_profile.blocks) == set(CASE_STUDY_BLOCKS)
+
+
+def test_case_study_three_code_blocks(case_program):
+    assert {b.name for b in case_program.code_blocks} == {
+        "Main", "Mul", "Add"}
+
+
+def test_case_study_default_arrays_are_2kb():
+    program = case_study_program()
+    for name in ("Array1", "Array2", "Array3", "Array4"):
+        obj = next(o for o in program.data_objects if o.name == name)
+        assert obj.size == kilobytes(2)
+
+
+def test_case_study_sorts_array1(case_program, sram_cfg):
+    machine = Machine(case_program, sram_cfg)
+    machine.run()
+    base = case_program.symbol("Array1")
+    raw = [int.from_bytes(machine.memory.peek_bytes(base + 4 * i, 4),
+                          "little") for i in range(96)]
+    signed = [v - (1 << 32) if v & 0x8000_0000 else v for v in raw]
+    assert signed == sorted(signed)
+
+
+def test_case_study_write_shape_matches_table1(case_profile):
+    """Array2/Array4 written only at init; Array1/Array3 write-heavy."""
+    a1 = case_profile.get("Array1")
+    a2 = case_profile.get("Array2")
+    a3 = case_profile.get("Array3")
+    a4 = case_profile.get("Array4")
+    assert a2.writes == a4.writes == 96  # one init write per element
+    assert a1.writes > 5 * a2.writes
+    # Array3 gets one Add-write per element per outer pass on top of init
+    assert a3.writes >= 4 * a4.writes
+
+
+def test_case_study_main_dominates_stack_calls(case_profile):
+    """The quicksort recursion lives inside Main (Table I)."""
+    main = case_profile.get("Main")
+    assert main.stack_calls > case_profile.get("Mul").stack_calls
+    assert main.max_stack_bytes > 0
+
+
+def test_case_study_mul_most_fetched(case_profile):
+    assert (case_profile.get("Mul").reads
+            > case_profile.get("Add").reads)
+
+
+def test_case_study_source_scales():
+    source = case_study_source(array_words=32, outer_iterations=1)
+    assert ".space 128" in source
+
+
+# --- kernels -------------------------------------------------------------------
+
+def test_kernel_registry():
+    assert set(kernel_names()) == {
+        "crc32", "bitcount", "stringsearch", "matmul", "dijkstra",
+        "fir", "histogram"}
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(ProfileError):
+        kernel_program("nope")
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_kernel_golden_results(name, sram_cfg):
+    """Every kernel's simulated result matches its Python recomputation."""
+    build = kernel_program(name)
+    machine = Machine(build.program, sram_cfg)
+    machine.run()
+    for symbol, expected in build.expected.items():
+        address = build.program.symbol(symbol)
+        got = int.from_bytes(machine.memory.peek_bytes(address, 4),
+                             "little")
+        assert got == expected, "%s: %s" % (name, symbol)
+
+
+def test_kernel_scale_changes_work(sram_cfg):
+    small = kernel_program("bitcount", scale=1)
+    large = kernel_program("bitcount", scale=2)
+    m_small = Machine(small.program, sram_cfg)
+    m_large = Machine(large.program, sram_cfg)
+    r_small = m_small.run()
+    r_large = m_large.run()
+    assert r_large.instructions > 1.5 * r_small.instructions
+
+
+def test_crc32_profile_is_read_dominated(crc_profile):
+    table = crc_profile.get("crc_table")
+    assert table.reads > 100 * max(1, table.writes)
+
+
+# --- synthetic suite ---------------------------------------------------------------
+
+def test_suite_has_sixteen_benchmarks():
+    assert len(mibench_names()) == 16
+
+
+def test_unknown_synthetic_raises():
+    with pytest.raises(ProfileError):
+        synthetic_profile("quake3")
+
+
+@pytest.mark.parametrize("name", mibench_names())
+def test_synthetic_profile_well_formed(name):
+    profile = synthetic_profile(name)
+    assert profile.total_cycles > profile.total_instructions * 0.9
+    kinds = {s.kind for s in profile.blocks.values()}
+    assert BlockKind.CODE in kinds
+    assert BlockKind.DATA in kinds
+    for stats in profile.blocks.values():
+        assert stats.reads >= 0 and stats.writes >= 0
+        assert 0 <= stats.ace_cycles <= profile.total_cycles
+        assert stats.life_time <= profile.total_cycles
+        assert stats.size > 0
+
+
+@pytest.mark.parametrize("name", mibench_names())
+def test_synthetic_blocks_do_not_overlap(name):
+    profile = synthetic_profile(name)
+    data = sorted((s.block.home_start, s.block.home_end)
+                  for s in profile.blocks.values()
+                  if s.kind is BlockKind.DATA)
+    for (start_a, end_a), (start_b, _) in zip(data, data[1:]):
+        assert end_a <= start_b
+
+
+@pytest.mark.parametrize("name", mibench_names())
+def test_synthetic_stack_present(name):
+    profile = synthetic_profile(name)
+    assert STACK_BLOCK_NAME in profile.blocks
+
+
+def test_suite_read_write_mix_is_embedded_like():
+    """Overall the suite reads far more than it writes (embedded integer
+    workloads run ~4:1 to ~8:1 once table-driven codecs are included)."""
+    reads = writes = 0
+    for name in mibench_names():
+        profile = synthetic_profile(name)
+        reads += sum(s.reads for s in profile.blocks.values())
+        writes += sum(s.writes for s in profile.blocks.values())
+    assert 2.5 < reads / writes < 9.0
+
+
+def test_write_skew_accessor():
+    bench = MIBENCH_SUITE["qsort"]
+    assert bench.write_skew_for("input_array") > 1.0
+    with pytest.raises(ProfileError):
+        bench.write_skew_for("bogus")
+
+
+@pytest.mark.parametrize("name", mibench_names())
+def test_synthetic_sttram_candidates_fit(name):
+    """Each model's read-mostly working set must fit the 12 KB STT region
+    so the MDA sweep reflects the paper's geometry."""
+    profile = synthetic_profile(name)
+    largest = max(s.size for s in profile.data_blocks())
+    assert largest <= 12 * 1024
