@@ -8,23 +8,25 @@ golden data.  Reports where the measured codec behaviour deviates from
 the first-order equations (odd >=3-bit parity upsets are *detected*,
 some SEC-DED triples become DUE rather than SDC).
 
-Run:  python examples/fault_injection.py [--trials N]
+Campaigns run through `repro.campaign` (sharded, reproducible across
+worker counts — see examples/campaign_parallel.py for the pool,
+checkpoint and confidence-interval features).
+
+Run:  python examples/fault_injection.py [--trials N] [--jobs N]
 """
 
 import argparse
 
+from repro.campaign import CampaignRunner, CampaignSpec
 from repro.eval.structures import evaluate_structure, plan_for_structure
-from repro.faults import (
-    InjectionCampaign,
-    MbuDistribution,
-    region_surface_vulnerability,
-)
+from repro.faults import MbuDistribution, region_surface_vulnerability
 from repro.workloads import mibench_names, synthetic_profile
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=100_000)
+    parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--benchmarks", nargs="*",
                         default=["susan", "sha", "qsort"])
     args = parser.parse_args()
@@ -47,11 +49,12 @@ def main():
             analytic = region_surface_vulnerability(
                 evaluation.plan, profile, mbu=mbu,
                 uniform=structure != "ftspm").vulnerability
-            campaign = InjectionCampaign(
+            spec = CampaignSpec.from_entries(
                 evaluation.plan.avf_entries(profile),
                 evaluation.plan.total_spm_bytes(),
-                profile.total_cycles, mbu=mbu, seed=0xF17A)
-            result = campaign.run(trials=args.trials)
+                profile.total_cycles, trials=args.trials, mbu=mbu,
+                seed=0xF17A)
+            result = CampaignRunner(spec, jobs=args.jobs).run().result
             print("%-13s %-16s %8.4f %10.4f %8d %8d %8d" % (
                 name, structure, analytic, result.vulnerability,
                 result.dre, result.due, result.sdc))

@@ -1,0 +1,83 @@
+"""Observability for long campaigns: events, throughput, ETA.
+
+The runner emits :class:`ProgressEvent`s through a plain callable hook,
+so library users can attach anything (a logger, a metrics sink, a test
+probe).  :class:`ProgressPrinter` is the default CLI sink: one line per
+shard with throughput and a rate-based ETA, plus start/done summaries.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observable moment of a running campaign."""
+
+    kind: str  # "start" | "shard-ok" | "shard-retry" | "shard-failed" | "done"
+    shard: int = None
+    attempt: int = 1
+    shards_done: int = 0
+    shards_total: int = 0
+    trials_done: int = 0  # completed trials, including resumed shards
+    trials_total: int = 0
+    fresh_trials: int = 0  # trials completed by this invocation only
+    elapsed: float = 0.0  # wall seconds since run() started
+    shard_elapsed: float = None
+    error: str = None
+
+    @property
+    def throughput(self):
+        """Trials per second achieved by this invocation so far."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.fresh_trials / self.elapsed
+
+    @property
+    def eta_seconds(self):
+        """Rate-based estimate of the remaining wall time."""
+        rate = self.throughput
+        if rate <= 0:
+            return None
+        return (self.trials_total - self.trials_done) / rate
+
+
+class ProgressPrinter:
+    """Default progress sink: one status line per event on a stream."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, text):
+        print(text, file=self.stream, flush=True)
+
+    def __call__(self, event):
+        if event.kind == "start":
+            resumed = event.shards_done
+            self._emit(
+                "campaign: {:,} trials in {} shards{}".format(
+                    event.trials_total, event.shards_total,
+                    " (%d resumed from checkpoint)" % resumed
+                    if resumed else ""))
+        elif event.kind == "shard-ok":
+            eta = event.eta_seconds
+            self._emit(
+                "shard %d/%d ok in %.2fs | %s trials/s | ETA %s" % (
+                    event.shards_done, event.shards_total,
+                    event.shard_elapsed or 0.0,
+                    "{:,.0f}".format(event.throughput),
+                    "%.1fs" % eta if eta is not None else "?"))
+        elif event.kind == "shard-retry":
+            self._emit("shard %d attempt %d failed (%s) - retrying"
+                       % (event.shard, event.attempt, event.error))
+        elif event.kind == "shard-failed":
+            self._emit("shard %d FAILED after %d attempts: %s"
+                       % (event.shard, event.attempt, event.error))
+        elif event.kind == "done":
+            self._emit(
+                "campaign done: {:,}/{:,} trials in {:.2f}s"
+                " ({:,.0f} trials/s)".format(
+                    event.trials_done, event.trials_total, event.elapsed,
+                    event.throughput))

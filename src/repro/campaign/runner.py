@@ -1,0 +1,411 @@
+"""Parallel, resumable execution of sharded injection campaigns.
+
+The runner splits a campaign's trial budget into fixed-size shards, runs
+them on a ``multiprocessing`` worker pool (or in-process when
+``jobs=1``), and merges the shard results in index order.  Because every
+shard's RNG seed derives only from the campaign seed and the shard index
+(see :mod:`repro.campaign.seeding`), the merged aggregate is identical
+for any worker count and any completion order.
+
+Fault tolerance: a shard whose worker raises — or whose worker process
+dies outright, breaking the pool — is retried up to ``max_retries``
+times with the *same* seed (a retried shard reproduces the original
+trials exactly); after that it is recorded as failed and the campaign
+reports partial results, whose confidence intervals widen accordingly.
+With a run directory attached, every finished shard is checkpointed
+durably, so a killed campaign resumes without redoing completed work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..errors import CampaignError
+from ..eval.tables import render_table
+from ..faults.injector import CampaignResult
+from .checkpoint import RunDirectory
+from .progress import ProgressEvent
+from .stats import wilson_interval
+
+DEFAULT_MAX_RETRIES = 2
+
+#: Internal test hook: comma-separated shard indices that always fail.
+FAIL_SHARDS_ENV = "REPRO_CAMPAIGN_FAIL_SHARDS"
+
+
+def _injected_failures():
+    value = os.environ.get(FAIL_SHARDS_ENV, "")
+    return {int(item) for item in value.split(",") if item.strip()}
+
+
+def _execute_shard(spec, index):
+    """Run one shard to a :class:`CampaignResult` (current process)."""
+    if index in _injected_failures():
+        raise CampaignError(
+            "injected failure for shard %d (%s)" % (index, FAIL_SHARDS_ENV))
+    campaign = spec.build_campaign(index)
+    return campaign.run(trials=spec.shard_trials(index))
+
+
+def _shard_worker(spec, index):
+    """Pool entry point: returns (index, result_dict, elapsed_seconds)."""
+    start = time.perf_counter()
+    result = _execute_shard(spec, index)
+    return index, result.to_dict(), time.perf_counter() - start
+
+
+@dataclass
+class ShardRecord:
+    """Outcome of one shard, as kept in memory and in the journal."""
+
+    index: int
+    seed: int
+    trials: int
+    status: str  # "ok" | "failed"
+    attempts: int = 1
+    elapsed: float = None
+    result: dict = None  # CampaignResult.to_dict() when status == "ok"
+    error: str = None
+    resumed: bool = False
+
+    def to_journal(self):
+        record = {
+            "shard": self.index,
+            "seed": self.seed,
+            "trials": self.trials,
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+        }
+        if self.result is not None:
+            record["result"] = self.result
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    @classmethod
+    def from_journal(cls, record):
+        return cls(
+            index=record["shard"],
+            seed=record.get("seed"),
+            trials=record.get("trials", 0),
+            status=record.get("status", "failed"),
+            attempts=record.get("attempts", 1),
+            elapsed=record.get("elapsed"),
+            result=record.get("result"),
+            error=record.get("error"),
+            resumed=True,
+        )
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate outcome of a (possibly partial) campaign run."""
+
+    spec: object
+    result: CampaignResult
+    records: list = field(default_factory=list)  # ShardRecords by index
+    elapsed: float = 0.0
+    jobs: int = 1
+    fresh_trials: int = 0
+
+    @property
+    def completed_shards(self):
+        return [r.index for r in self.records if r.status == "ok"]
+
+    @property
+    def failed_shards(self):
+        return [r.index for r in self.records if r.status == "failed"]
+
+    @property
+    def trials_requested(self):
+        return self.spec.trials
+
+    @property
+    def trials_completed(self):
+        return self.result.trials
+
+    @property
+    def complete(self):
+        return self.trials_completed == self.trials_requested
+
+    @property
+    def throughput(self):
+        """Fresh (non-resumed) trials per wall-clock second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.fresh_trials / self.elapsed
+
+    def interval(self, attribute="harmful", confidence=0.95):
+        """Wilson CI of an outcome rate over the completed trials.
+
+        Failed shards contribute no trials, so a partial campaign's
+        intervals are computed over a smaller n and come out wider —
+        the promised graceful degradation.
+        """
+        if attribute == "harmful":
+            count = self.result.harmful
+        else:
+            count = getattr(self.result, attribute)
+        return wilson_interval(count, self.result.trials, confidence)
+
+    # --- reporting --------------------------------------------------------------
+
+    def outcome_table(self, confidence=0.95):
+        result = self.result
+        rows = []
+        for label, count in (
+                ("benign (immune)", result.benign_immune),
+                ("benign (empty)", result.benign_empty),
+                ("benign (dead)", result.benign_dead),
+                ("no effect", result.none),
+                ("DRE (recovered)", result.dre),
+                ("DUE (detected)", result.due),
+                ("SDC (silent)", result.sdc),
+                ("harmful (DUE+SDC)", result.harmful)):
+            ci = wilson_interval(count, result.trials, confidence)
+            rows.append([label, count, ci.point,
+                         "[%.5f, %.5f]" % (ci.low, ci.high)])
+        title = ("campaign outcome: {:,}/{:,} trials".format(
+            self.trials_completed, self.trials_requested))
+        if self.failed_shards:
+            title += " (%d shard(s) failed; intervals widened)" % len(
+                self.failed_shards)
+        return render_table(
+            ["Outcome", "Count", "Rate",
+             "%.0f%% Wilson CI" % (100 * confidence)],
+            rows, title=title)
+
+    def shard_table(self):
+        rows = []
+        for record in self.records:
+            rate = (record.trials / record.elapsed
+                    if record.elapsed else 0.0)
+            rows.append([
+                record.index, record.trials, record.status,
+                record.attempts,
+                "-" if record.elapsed is None else "%.2fs" % record.elapsed,
+                "{:,.0f}".format(rate) if rate else "-",
+                "resumed" if record.resumed else "fresh",
+            ])
+        return render_table(
+            ["Shard", "Trials", "Status", "Attempts", "Time", "Trials/s",
+             "Origin"],
+            rows, title="per-shard breakdown")
+
+
+class CampaignRunner:
+    """Shard, distribute, retry, checkpoint, and merge one campaign."""
+
+    def __init__(self, spec, jobs=1, run_dir=None, resume=False,
+                 max_retries=DEFAULT_MAX_RETRIES, progress=None):
+        if jobs < 1:
+            raise CampaignError("jobs must be >= 1, got %r" % (jobs,))
+        if max_retries < 0:
+            raise CampaignError("max_retries must be >= 0")
+        if resume and run_dir is None:
+            raise CampaignError("resume requires a run directory")
+        self.spec = spec
+        self.jobs = jobs
+        self.run_directory = (RunDirectory(run_dir)
+                              if run_dir is not None else None)
+        self.resume = resume
+        self.max_retries = max_retries
+        self.progress = progress
+
+    # --- orchestration ----------------------------------------------------------
+
+    def run(self):
+        start = time.perf_counter()
+        records = {}
+        if self.run_directory is not None:
+            self.run_directory.prepare(self.spec, resume=self.resume)
+            for index, journal in sorted(
+                    self.run_directory.completed_shards().items()):
+                records[index] = ShardRecord.from_journal(journal)
+        pending = [index for index in range(self.spec.shard_count)
+                   if index not in records]
+        state = _RunState(self, records, start)
+        state.notify("start")
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, state)
+            else:
+                self._run_pool(pending, state)
+        summary = state.summary()
+        state.notify("done")
+        return summary
+
+    def _run_serial(self, pending, state):
+        for index in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                shard_start = time.perf_counter()
+                try:
+                    result = _execute_shard(self.spec, index)
+                except Exception as error:
+                    if not state.note_failure(index, attempts, error):
+                        break  # retries exhausted; recorded as failed
+                else:
+                    state.note_success(
+                        index, attempts, result.to_dict(),
+                        time.perf_counter() - shard_start)
+                    break
+
+    def _run_pool(self, pending, state):
+        attempts = {index: 0 for index in pending}
+        remaining = set(pending)
+        while remaining:
+            try:
+                self._pool_round(remaining, attempts, state)
+            except BrokenProcessPool:
+                # A worker process died (OOM-kill, segfault, SIGKILL).
+                # Everything still in flight counts one attempt and goes
+                # back through the retry gate; the pool is rebuilt.
+                for index in sorted(remaining):
+                    attempts[index] += 1
+                    if not self._may_retry(attempts[index]):
+                        state.note_failure(
+                            index, attempts[index],
+                            CampaignError("worker process died"),
+                            final=True)
+                        remaining.discard(index)
+
+    def _pool_round(self, remaining, attempts, state):
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {pool.submit(_shard_worker, self.spec, index): index
+                       for index in sorted(remaining)}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        _, result_dict, elapsed = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as error:
+                        attempts[index] += 1
+                        if self._may_retry(attempts[index]):
+                            state.notify("shard-retry", shard=index,
+                                         attempt=attempts[index],
+                                         error=str(error))
+                            retry = pool.submit(
+                                _shard_worker, self.spec, index)
+                            futures[retry] = index
+                            not_done.add(retry)
+                        else:
+                            state.note_failure(index, attempts[index],
+                                               error, final=True)
+                            remaining.discard(index)
+                    else:
+                        attempts[index] += 1
+                        state.note_success(index, attempts[index],
+                                           result_dict, elapsed)
+                        remaining.discard(index)
+
+    def _may_retry(self, attempts_made):
+        return attempts_made <= self.max_retries
+
+
+class _RunState:
+    """Mutable bookkeeping shared by the serial and pool paths."""
+
+    def __init__(self, runner, records, start):
+        self.runner = runner
+        self.spec = runner.spec
+        self.records = records  # {index: ShardRecord}
+        self.start = start
+        self.fresh_trials = 0
+
+    # --- shard outcomes ---------------------------------------------------------
+
+    def note_success(self, index, attempts, result_dict, elapsed):
+        record = ShardRecord(
+            index=index,
+            seed=self.spec.shard_seed(index),
+            trials=self.spec.shard_trials(index),
+            status="ok",
+            attempts=attempts,
+            elapsed=elapsed,
+            result=result_dict,
+        )
+        self.records[index] = record
+        self.fresh_trials += record.trials
+        self._checkpoint(record)
+        self.notify("shard-ok", shard=index, attempt=attempts,
+                    shard_elapsed=elapsed)
+
+    def note_failure(self, index, attempts, error, final=False):
+        """Record a failed attempt; returns True when a retry is due."""
+        if not final and self.runner._may_retry(attempts):
+            self.notify("shard-retry", shard=index, attempt=attempts,
+                        error=str(error))
+            return True
+        record = ShardRecord(
+            index=index,
+            seed=self.spec.shard_seed(index),
+            trials=self.spec.shard_trials(index),
+            status="failed",
+            attempts=attempts,
+            error=str(error),
+        )
+        self.records[index] = record
+        self._checkpoint(record)
+        self.notify("shard-failed", shard=index, attempt=attempts,
+                    error=str(error))
+        return False
+
+    def _checkpoint(self, record):
+        if self.runner.run_directory is not None:
+            self.runner.run_directory.append_shard(record.to_journal())
+
+    # --- aggregation ------------------------------------------------------------
+
+    def merged_result(self):
+        """Merge completed shards in index order (deterministic output)."""
+        total = CampaignResult()
+        for index in sorted(self.records):
+            record = self.records[index]
+            if record.status == "ok":
+                total = total.merge(
+                    CampaignResult.from_dict(record.result))
+        return total
+
+    def summary(self):
+        return CampaignSummary(
+            spec=self.spec,
+            result=self.merged_result(),
+            records=[self.records[index]
+                     for index in sorted(self.records)],
+            elapsed=time.perf_counter() - self.start,
+            jobs=self.runner.jobs,
+            fresh_trials=self.fresh_trials,
+        )
+
+    # --- progress ---------------------------------------------------------------
+
+    def notify(self, kind, shard=None, attempt=1, shard_elapsed=None,
+               error=None):
+        if self.runner.progress is None:
+            return
+        done = [r for r in self.records.values() if r.status == "ok"]
+        self.runner.progress(ProgressEvent(
+            kind=kind,
+            shard=shard,
+            attempt=attempt,
+            shards_done=len(done),
+            shards_total=self.spec.shard_count,
+            trials_done=sum(r.trials for r in done),
+            trials_total=self.spec.trials,
+            fresh_trials=self.fresh_trials,
+            elapsed=time.perf_counter() - self.start,
+            shard_elapsed=shard_elapsed,
+            error=error,
+        ))

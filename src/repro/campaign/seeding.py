@@ -1,0 +1,27 @@
+"""Deterministic per-shard seed spawning.
+
+A sharded campaign must produce the same aggregate no matter how many
+workers run it or in which order shards complete, so every shard's RNG
+seed is a pure function of the campaign root seed and the shard index —
+the same spawning discipline as :class:`numpy.random.SeedSequence`, but
+implemented over SHA-256 so it is stable across Python versions,
+platforms, and process boundaries without importing numpy in workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_DOMAIN = b"repro.campaign.shard"
+
+
+def spawn_seed(root_seed, index):
+    """Derive the RNG seed of shard ``index`` from the campaign seed."""
+    payload = b"%s:%d:%d" % (_DOMAIN, root_seed, index)
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def spawn_seeds(root_seed, count):
+    """Seeds for shards ``0..count-1`` (independent of worker count)."""
+    return [spawn_seed(root_seed, index) for index in range(count)]

@@ -1,0 +1,75 @@
+"""Statistical reporting for measured campaigns.
+
+A campaign's vulnerability estimate is a binomial proportion (harmful
+trials / total trials), so its uncertainty is reported as a Wilson score
+interval — unlike the naive normal interval it stays inside [0, 1] and
+behaves at the extreme proportions fault injection actually produces
+(FTSPM's measured vulnerability is a few percent; the STT-RAM baseline's
+is exactly zero).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import NormalDist
+
+from ..errors import CampaignError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A binomial-proportion estimate with its confidence bounds."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def half_width(self):
+        return (self.high - self.low) / 2
+
+    def brackets(self, value):
+        return self.low <= value <= self.high
+
+    def __str__(self):
+        return "%.5f [%.5f, %.5f] @%.0f%%" % (
+            self.point, self.low, self.high, 100 * self.confidence)
+
+
+def z_value(confidence):
+    """Two-sided normal quantile for a confidence level (0.95 -> 1.96)."""
+    if not 0 < confidence < 1:
+        raise CampaignError(
+            "confidence must be in (0, 1), got %r" % (confidence,))
+    return NormalDist().inv_cdf((1 + confidence) / 2)
+
+
+def wilson_interval(successes, trials, confidence=0.95):
+    """Wilson score interval for ``successes`` out of ``trials``.
+
+    With zero trials (a campaign whose every shard failed) the estimate
+    is vacuous and the interval degenerates to the whole [0, 1] range —
+    the honest report for "we measured nothing".
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise CampaignError(
+            "need 0 <= successes <= trials, got %r/%r"
+            % (successes, trials))
+    if trials == 0:
+        return ConfidenceInterval(0.0, 0.0, 1.0, confidence)
+    z = z_value(confidence)
+    n = trials
+    p = successes / n
+    denominator = 1 + z * z / n
+    center = (p + z * z / (2 * n)) / denominator
+    half = (z / denominator) * math.sqrt(
+        p * (1 - p) / n + z * z / (4 * n * n))
+    # the exact Wilson bounds at the extremes; center +- half leaves
+    # ~1e-19 of floating-point residue there, which would put the point
+    # estimate outside its own interval
+    low = 0.0 if successes == 0 else max(0.0, center - half)
+    high = 1.0 if successes == trials else min(1.0, center + half)
+    return ConfidenceInterval(
+        point=p, low=low, high=high, confidence=confidence)

@@ -7,6 +7,7 @@ Subcommands::
     ftspm map WORKLOAD [--mode MODE]           MDA placement (Table II)
     ftspm run WORKLOAD [--structure S]         full simulation + metrics
     ftspm inject WORKLOAD [--trials N]         Monte-Carlo fault injection
+    ftspm campaign WORKLOAD [--jobs N]         parallel, resumable campaign
     ftspm disasm WORKLOAD                      disassemble a workload
     ftspm list                                 available workloads/experiments
 
@@ -144,14 +145,7 @@ def _cmd_run(args):
     return 0
 
 
-def _cmd_inject(args):
-    _, profile = _resolve_workload(
-        args.workload, args.array_words, args.outer_iterations, args.scale)
-    config, plan, _ = plan_for_structure(profile, args.structure)
-    campaign = InjectionCampaign(
-        plan.avf_entries(profile), plan.total_spm_bytes(),
-        profile.total_cycles, seed=args.seed)
-    result = campaign.run(trials=args.trials)
+def _print_injection_counts(result):
     print("trials:           {:,}".format(result.trials))
     print("benign (immune):  {:,}".format(result.benign_immune))
     print("benign (empty):   {:,}".format(result.benign_empty))
@@ -161,6 +155,70 @@ def _cmd_inject(args):
     print("DUE (detected):   {:,}".format(result.due))
     print("SDC (silent):     {:,}".format(result.sdc))
     print("measured vulnerability: %.5f" % result.vulnerability)
+
+
+def _cmd_inject(args):
+    _, profile = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    config, plan, _ = plan_for_structure(profile, args.structure)
+    if args.jobs == 1:
+        # The original single-process path: byte-identical output to
+        # previous releases for the same seed and trial count.
+        campaign = InjectionCampaign(
+            plan.avf_entries(profile), plan.total_spm_bytes(),
+            profile.total_cycles, seed=args.seed)
+        _print_injection_counts(campaign.run(trials=args.trials))
+        return 0
+    from .campaign import CampaignRunner, CampaignSpec
+    spec = CampaignSpec.from_entries(
+        plan.avf_entries(profile), plan.total_spm_bytes(),
+        profile.total_cycles, trials=args.trials, seed=args.seed)
+    summary = CampaignRunner(spec, jobs=args.jobs).run()
+    _print_injection_counts(summary.result)
+    interval = summary.interval("harmful")
+    print("95%% Wilson CI:    [%.5f, %.5f]" % (interval.low, interval.high))
+    print("jobs/shards:      %d/%d (%d failed)" % (
+        args.jobs, spec.shard_count, len(summary.failed_shards)))
+    return 0
+
+
+def _cmd_campaign(args):
+    from .campaign import (
+        CampaignRunner,
+        CampaignSpec,
+        ProgressPrinter,
+        analytic_vulnerability,
+    )
+
+    if args.resume and not args.out:
+        raise ReproError("--resume requires --out RUN_DIR")
+    _, profile = _resolve_workload(
+        args.workload, args.array_words, args.outer_iterations, args.scale)
+    spec = CampaignSpec.from_structure(
+        profile, args.structure, trials=args.trials, seed=args.seed,
+        shard_size=args.shard_size)
+    progress = None if args.no_progress else ProgressPrinter()
+    runner = CampaignRunner(spec, jobs=args.jobs, run_dir=args.out,
+                            resume=args.resume, max_retries=args.retries,
+                            progress=progress)
+    summary = runner.run()
+    print(summary.outcome_table())
+    print()
+    print(summary.shard_table())
+    print()
+    interval = summary.interval("harmful")
+    analytic = analytic_vulnerability(profile, args.structure)
+    print("measured vulnerability: %s" % interval)
+    print("analytic vulnerability: %.5f (Fig. 5 region-surface value)"
+          % analytic)
+    print("CI brackets analytic:   %s"
+          % ("yes" if interval.brackets(analytic) else "NO"))
+    print("throughput:             {:,.0f} trials/s over {} job(s)".format(
+        summary.throughput, args.jobs))
+    if not summary.complete:
+        print("WARNING: campaign incomplete ({:,}/{:,} trials); "
+              "intervals are widened".format(
+                  summary.trials_completed, summary.trials_requested))
     return 0
 
 
@@ -261,7 +319,32 @@ def build_parser():
                           choices=sorted(STRUCTURES))
     p_inject.add_argument("--trials", type=int, default=100_000)
     p_inject.add_argument("--seed", type=int, default=0xF7F7)
+    p_inject.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = classic serial path)")
     p_inject.set_defaults(func=_cmd_inject)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="parallel, resumable Monte-Carlo campaign with Wilson CIs")
+    _add_workload_arguments(p_campaign)
+    p_campaign.add_argument("--structure", default="ftspm",
+                            choices=sorted(STRUCTURES))
+    p_campaign.add_argument("--trials", type=int, default=200_000)
+    p_campaign.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for shard execution")
+    p_campaign.add_argument("--seed", type=int, default=0xF7F7)
+    p_campaign.add_argument("--shard-size", type=int, default=25_000,
+                            help="trials per shard (checkpoint granule)")
+    p_campaign.add_argument("--out", metavar="RUN_DIR",
+                            help="run directory for shard checkpoints")
+    p_campaign.add_argument("--resume", action="store_true",
+                            help="continue a checkpointed run in --out")
+    p_campaign.add_argument("--retries", type=int, default=2,
+                            help="retry budget per shard before it is "
+                                 "recorded as failed")
+    p_campaign.add_argument("--no-progress", action="store_true",
+                            help="suppress per-shard progress on stderr")
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     p_disasm = sub.add_parser("disasm", help="disassemble a workload")
     _add_workload_arguments(p_disasm)

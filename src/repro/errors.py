@@ -71,5 +71,13 @@ class FaultInjectionError(ReproError):
     """Raised for invalid fault-injection campaign parameters."""
 
 
+class CampaignError(FaultInjectionError):
+    """Raised for campaign orchestration failures.
+
+    Covers bad campaign specifications, run-directory/manifest mismatches
+    on resume, and shards that exhaust their retry budget.
+    """
+
+
 class TraceError(ReproError):
     """Raised when a trace stream is malformed or cannot be replayed."""

@@ -336,20 +336,61 @@ def experiment_fig4():
               "write share stays small across the suite.")
 
 
+# --- measured-campaign hook (Fig. 5 / Section IV validation) -----------------
+
+def _measured_vulnerability(profile, structure, trials, jobs, seed):
+    """95% Wilson CI of a measured campaign on one (workload, structure).
+
+    Uses the region-surface reading of Fig. 5, so the interval is
+    directly comparable to the analytic value in the same row.
+    """
+    from ..campaign import CampaignRunner, CampaignSpec
+
+    spec = CampaignSpec.from_structure(
+        profile, structure, trials=trials, seed=seed)
+    summary = CampaignRunner(spec, jobs=jobs).run()
+    return summary.interval("harmful")
+
+
 # --- Fig. 5 -------------------------------------------------------------------
 
-def experiment_fig5():
-    """Fig. 5: vulnerability of FTSPM vs the pure SRAM baseline."""
+def experiment_fig5(measured_trials=0, measured_jobs=1,
+                    measured_seed=0xF7F7):
+    """Fig. 5: vulnerability of FTSPM vs the pure SRAM baseline.
+
+    With ``measured_trials > 0`` every FTSPM value is cross-checked by a
+    Monte-Carlo campaign (:mod:`repro.campaign`) through the real codecs:
+    two extra columns carry the measured rate with its 95% Wilson CI,
+    and ``data["measured"]`` records whether each CI brackets the
+    analytic value.
+    """
     headers = ["Benchmark", "FTSPM", "Pure SRAM", "Ratio (SRAM/FTSPM)"]
+    if measured_trials:
+        headers += ["Measured (MC)", "95% CI"]
     rows = []
     ratios = []
+    measured = {}
     evaluations = _suite_evaluations()
     for name in mibench_names():
         ftspm = evaluations[name]["ftspm"]
         sram = evaluations[name]["baseline-sram"]
         ratio = sram.vulnerability / max(ftspm.vulnerability, 1e-12)
         ratios.append(ratio)
-        rows.append([name, ftspm.vulnerability, sram.vulnerability, ratio])
+        row = [name, ftspm.vulnerability, sram.vulnerability, ratio]
+        if measured_trials:
+            interval = _measured_vulnerability(
+                synthetic_profile(name), "ftspm", measured_trials,
+                measured_jobs, measured_seed)
+            measured[name] = {
+                "vulnerability": interval.point,
+                "low": interval.low,
+                "high": interval.high,
+                "brackets_analytic": interval.brackets(
+                    ftspm.vulnerability),
+            }
+            row += [interval.point,
+                    "[%.5f, %.5f]" % (interval.low, interval.high)]
+        rows.append(row)
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
     data = {
         "mean_ratio": sum(ratios) / len(ratios),
@@ -357,13 +398,16 @@ def experiment_fig5():
         "min_ratio": min(ratios),
         "sram_values": [row[2] for row in rows],
     }
+    if measured_trials:
+        data["measured"] = measured
     from .charts import render_bar_chart
     chart = render_bar_chart(
         [row[0] for row in rows],
         {"FTSPM": [row[1] for row in rows],
          "pure SRAM": [row[2] for row in rows]},
         value_format="%.4f")
-    rows.append(["geomean", "-", "-", geomean])
+    rows.append(["geomean", "-", "-", geomean]
+                + (["-", "-"] if measured_trials else []))
     return ExperimentResult(
         name="fig5",
         title="Fig. 5: SPM vulnerability (paper: ~7x lower for FTSPM)",
@@ -490,8 +534,15 @@ def experiment_fig8():
 
 # --- Section IV / V scalars -------------------------------------------------------
 
-def experiment_case_scalars(array_words=256, outer_iterations=4):
-    """Section IV scalars: reliability, energy deltas, full simulation."""
+def experiment_case_scalars(array_words=256, outer_iterations=4,
+                            measured_trials=0, measured_jobs=1,
+                            measured_seed=0xF7F7):
+    """Section IV scalars: reliability, energy deltas, full simulation.
+
+    With ``measured_trials > 0`` the analytic vulnerability row gains a
+    Monte-Carlo counterpart: a measured campaign per structure with its
+    95% Wilson CI (``data["measured_vulnerability"]``).
+    """
     _, profile, runs = _case_study_runs(array_words, outer_iterations)
     ftspm, sram, stt = (runs["ftspm"], runs["baseline-sram"],
                         runs["baseline-sttram"])
@@ -507,6 +558,30 @@ def experiment_case_scalars(array_words=256, outer_iterations=4):
         ["reliability", ftspm["reliability"], sram["reliability"],
          stt["reliability"]],
     ]
+    measured = {}
+    if measured_trials:
+        for structure in ("ftspm", "baseline-sram"):
+            interval = _measured_vulnerability(
+                profile, structure, measured_trials, measured_jobs,
+                measured_seed)
+            measured[structure] = {
+                "vulnerability": interval.point,
+                "low": interval.low,
+                "high": interval.high,
+                "brackets_analytic": interval.brackets(
+                    runs[structure]["vulnerability"]),
+            }
+        rows.append([
+            "measured vulnerability (MC)",
+            "%.5f [%.5f, %.5f]" % (
+                measured["ftspm"]["vulnerability"],
+                measured["ftspm"]["low"], measured["ftspm"]["high"]),
+            "%.5f [%.5f, %.5f]" % (
+                measured["baseline-sram"]["vulnerability"],
+                measured["baseline-sram"]["low"],
+                measured["baseline-sram"]["high"]),
+            "0 (immune)",
+        ])
     data = {
         "reliability_ftspm": ftspm["reliability"],
         "reliability_sram": sram["reliability"],
@@ -519,6 +594,8 @@ def experiment_case_scalars(array_words=256, outer_iterations=4):
         "vulnerability_ratio":
             sram["vulnerability"] / max(ftspm["vulnerability"], 1e-12),
     }
+    if measured:
+        data["measured_vulnerability"] = measured
     return ExperimentResult(
         name="case-scalars",
         title="Section IV scalars (full simulation of the case study)",

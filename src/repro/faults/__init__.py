@@ -20,7 +20,7 @@ from .avf import (
     region_surface_vulnerability,
     vulnerability_of_placement,
 )
-from .injector import CampaignResult, InjectionCampaign
+from .injector import CampaignResult, InjectionCampaign, Target
 from .scrubbing import AccumulationCampaign, AccumulationResult
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "vulnerability_of_placement",
     "CampaignResult",
     "InjectionCampaign",
+    "Target",
     "AccumulationCampaign",
     "AccumulationResult",
 ]

@@ -57,15 +57,82 @@ class CampaignResult:
             return 0.0
         return getattr(self, attribute) / self.trials
 
+    # --- composition (sharded campaigns) ---------------------------------------
+
+    _COUNT_FIELDS = ("trials", "benign_immune", "benign_empty",
+                     "benign_dead", "none", "dre", "due", "sdc")
+
+    def merge(self, other):
+        """Combine two campaign outcomes into a new result.
+
+        Counts and the per-block breakdowns sum, so shard results from a
+        partitioned campaign compose into the aggregate the equivalent
+        single run would have produced.  Merging is associative and
+        commutative on the counts; ``by_block`` key order follows first
+        occurrence, so merge shards in index order for stable output.
+        """
+        if not isinstance(other, CampaignResult):
+            raise FaultInjectionError(
+                "can only merge CampaignResult, not %r" % type(other))
+        merged = CampaignResult(**{
+            name: getattr(self, name) + getattr(other, name)
+            for name in self._COUNT_FIELDS})
+        for source in (self, other):
+            for block, counts in source.by_block.items():
+                into = merged.by_block.setdefault(
+                    block, {klass: 0 for klass in ErrorClass})
+                for klass, count in counts.items():
+                    into[klass] += count
+        return merged
+
+    def __add__(self, other):
+        if isinstance(other, CampaignResult):
+            return self.merge(other)
+        return NotImplemented
+
+    def __radd__(self, other):
+        if other == 0:  # so sum(results) works
+            return self.merge(CampaignResult())
+        return NotImplemented
+
+    # --- serialization (campaign checkpoints) ----------------------------------
+
+    def to_dict(self):
+        """Plain-JSON form: enum keys become their string values."""
+        payload = {name: getattr(self, name) for name in self._COUNT_FIELDS}
+        payload["by_block"] = {
+            block: {klass.value: count for klass, count in counts.items()}
+            for block, counts in self.by_block.items()}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Inverse of :meth:`to_dict`."""
+        result = cls(**{name: int(payload.get(name, 0))
+                        for name in cls._COUNT_FIELDS})
+        for block, counts in payload.get("by_block", {}).items():
+            result.by_block[block] = {
+                klass: int(counts.get(klass.value, 0))
+                for klass in ErrorClass}
+        return result
+
 
 @dataclass(frozen=True)
-class _Target:
-    """One resident block as seen by the injector."""
+class Target:
+    """One resident surface element as seen by the injector.
+
+    Either a mapped block (the classic ``avf_entries`` reading) or a
+    whole SPM region with a precomputed utilization (the region-surface
+    reading of Fig. 5) — the injector only needs the four fields.
+    """
 
     name: str
     protection: Protection
     size: int
     ace_fraction: float
+
+
+_Target = Target  # backwards-compatible alias
 
 
 class InjectionCampaign:
@@ -76,24 +143,43 @@ class InjectionCampaign:
         """``entries`` is an iterable of ``(block_stats, protection)``,
         identical to :func:`repro.faults.avf.vulnerability_of_placement`.
         """
-        if total_spm_bytes <= 0:
-            raise FaultInjectionError("total_spm_bytes must be positive")
-        self.targets = []
-        occupied = 0
+        targets = []
         for stats, protection in entries:
             ace = (min(1.0, stats.ace_cycles / total_cycles)
                    if total_cycles > 0 else 0.0)
-            self.targets.append(_Target(
+            targets.append(Target(
                 name=stats.name,
                 protection=protection,
                 size=stats.size,
                 ace_fraction=ace,
             ))
-            occupied += stats.size
+        self._init_from_targets(targets, total_spm_bytes, mbu, seed)
+
+    @classmethod
+    def from_targets(cls, targets, total_spm_bytes, mbu=None, seed=0xF7F7):
+        """Build a campaign from precomputed :class:`Target` surfaces.
+
+        Used by :mod:`repro.campaign` to rebuild the injector inside
+        worker processes, and to sample the region-surface reading of
+        Fig. 5 (whole regions with precomputed utilizations) instead of
+        the block-level ``avf_entries`` reading.
+        """
+        campaign = cls.__new__(cls)
+        campaign._init_from_targets(
+            [Target(t.name, t.protection, t.size, t.ace_fraction)
+             for t in targets],
+            total_spm_bytes, mbu, seed)
+        return campaign
+
+    def _init_from_targets(self, targets, total_spm_bytes, mbu, seed):
+        if total_spm_bytes <= 0:
+            raise FaultInjectionError("total_spm_bytes must be positive")
+        occupied = sum(target.size for target in targets)
         if occupied > total_spm_bytes:
             raise FaultInjectionError(
                 "resident blocks (%d B) exceed the SPM surface (%d B)"
                 % (occupied, total_spm_bytes))
+        self.targets = targets
         self.total_spm_bytes = total_spm_bytes
         self.mbu = mbu or MbuDistribution.for_node(40)
         self.rng = random.Random(seed)

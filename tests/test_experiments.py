@@ -138,6 +138,7 @@ def test_static_power_calibration():
     assert result.data["baseline-sttram"] == pytest.approx(3.0, abs=0.05)
 
 
+@pytest.mark.slow
 def test_experiment_text_renders_for_all():
     for name in experiment_names():
         if name in ("table1", "table2", "table3", "fig2", "case-scalars"):

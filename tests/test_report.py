@@ -30,6 +30,7 @@ def test_write_report(tmp_path):
     assert path.read_text() == text
 
 
+@pytest.mark.slow
 def test_cli_report_subcommand(tmp_path, capsys):
     from repro.cli import main
     out = tmp_path / "r.md"
