@@ -87,10 +87,10 @@ class CampaignSpec:
         :func:`~repro.faults.avf.region_surface_vulnerability` modulo the
         real-codec deviations the analytic model rounds off.
         """
-        from ..eval.structures import plan_for_structure
         from ..faults.avf import region_surface_vulnerability
+        from ..pipeline import get_context
 
-        config, plan, _ = plan_for_structure(profile, structure)
+        config, plan, _ = get_context().plan(profile, structure)
         if mbu is None:
             mbu = MbuDistribution.for_node(config.technology_node_nm)
         if uniform is None:
@@ -196,10 +196,10 @@ class CampaignSpec:
 def analytic_vulnerability(profile, structure, mbu=None, uniform=None,
                            spm_name="D-SPM"):
     """The Fig. 5 analytic value a measured campaign is validated against."""
-    from ..eval.structures import plan_for_structure
     from ..faults.avf import region_surface_vulnerability
+    from ..pipeline import get_context
 
-    config, plan, _ = plan_for_structure(profile, structure)
+    config, plan, _ = get_context().plan(profile, structure)
     if mbu is None:
         mbu = MbuDistribution.for_node(config.technology_node_nm)
     if uniform is None:

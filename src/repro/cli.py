@@ -21,35 +21,25 @@ import argparse
 import sys
 
 from .config import preset
-from .core.mda import MappingDeterminer
 from .core.online import build_machine
 from .core.priorities import OptimizationMode, thresholds_for_mode
 from .errors import ReproError
 from .eval.experiments import experiment_names, run_experiment
-from .eval.structures import STRUCTURES, plan_for_structure
+from .eval.structures import STRUCTURES
 from .faults.injector import InjectionCampaign
 from .isa.disasm import disassemble_program
-from .profile.profiler import profile_program
+from .pipeline import get_context
 from .profile.report import format_profile_table
 from .units import format_energy, format_time
-from .workloads.case_study import case_study_program
-from .workloads.kernels import kernel_names, kernel_program
-from .workloads.synthetic import mibench_names, synthetic_profile
+from .workloads.kernels import kernel_names
+from .workloads.synthetic import mibench_names
 
 
 def _resolve_workload(spec, array_words=256, outer_iterations=4, scale=1):
     """Return (program_or_None, profile) for a workload spec."""
-    if spec == "case":
-        program = case_study_program(array_words, outer_iterations)
-        return program, profile_program(program)
-    if spec.startswith("kernel:"):
-        build = kernel_program(spec.split(":", 1)[1], scale=scale)
-        return build.program, profile_program(build.program)
-    if spec in mibench_names():
-        return None, synthetic_profile(spec)
-    raise ReproError(
-        "unknown workload %r (try 'case', 'kernel:<%s>', or one of %s)"
-        % (spec, "|".join(kernel_names()), ", ".join(mibench_names())))
+    return get_context().resolve_workload(
+        spec, array_words=array_words, outer_iterations=outer_iterations,
+        scale=scale)
 
 
 def _cmd_list(args):
@@ -76,15 +66,21 @@ def _cmd_experiments(args):
 
 
 def _cmd_report(args):
-    from .eval.report import generate_report
+    from .eval.report import format_timings, generate_report
+    timings = [] if args.timings else None
     text = generate_report(array_words=args.array_words,
-                           outer_iterations=args.outer_iterations)
+                           outer_iterations=args.outer_iterations,
+                           cache_dir=args.cache_dir,
+                           timings=timings)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text)
         print("wrote %s (%d bytes)" % (args.out, len(text)))
     else:
         print(text)
+    if timings is not None:
+        # Timings go to stderr so the report on stdout stays byte-stable.
+        print(format_timings(timings), file=sys.stderr)
     return 0
 
 
@@ -102,9 +98,9 @@ def _cmd_map(args):
     config = preset(args.structure)
     if args.structure == "ftspm":
         mode = OptimizationMode(args.mode)
-        result = MappingDeterminer(
-            config, thresholds=thresholds_for_mode(mode)).map(profile)
-        plan = result.plan
+        _, plan, result = get_context().plan(
+            profile, "ftspm", config=config,
+            thresholds=thresholds_for_mode(mode))
         print(plan.format_table(
             profile, title="MDA placement (%s, mode=%s)"
             % (args.workload, mode.value)))
@@ -114,7 +110,7 @@ def _cmd_map(args):
                 decision.step, decision.block, decision.action,
                 decision.detail))
     else:
-        _, plan, _ = plan_for_structure(profile, args.structure,
+        _, plan, _ = get_context().plan(profile, args.structure,
                                         config=config)
         print(plan.format_table(
             profile, title="%s placement (%s)"
@@ -129,7 +125,7 @@ def _cmd_run(args):
         raise ReproError(
             "workload %r is profile-only; pick 'case' or a kernel"
             % args.workload)
-    config, plan, _ = plan_for_structure(profile, args.structure)
+    config, plan, _ = get_context().plan(profile, args.structure)
     machine = build_machine(program, config, plan, profile)
     result = machine.run()
     print("structure:        %s" % args.structure)
@@ -160,7 +156,7 @@ def _print_injection_counts(result):
 def _cmd_inject(args):
     _, profile = _resolve_workload(
         args.workload, args.array_words, args.outer_iterations, args.scale)
-    config, plan, _ = plan_for_structure(profile, args.structure)
+    _, plan, _ = get_context().plan(profile, args.structure)
     if args.jobs == 1:
         # The original single-process path: byte-identical output to
         # previous releases for the same seed and trial count.
@@ -293,6 +289,12 @@ def build_parser():
     p_report.add_argument("--out", help="output path (default: stdout)")
     p_report.add_argument("--array-words", type=int, default=256)
     p_report.add_argument("--outer-iterations", type=int, default=4)
+    p_report.add_argument("--cache-dir", metavar="PATH",
+                          help="persist pipeline artifacts here and reuse "
+                               "them on repeat invocations")
+    p_report.add_argument("--timings", action="store_true",
+                          help="print a per-experiment wall-clock table "
+                               "to stderr")
     p_report.set_defaults(func=_cmd_report)
 
     p_profile = sub.add_parser("profile", help="profile a workload")

@@ -28,10 +28,9 @@ from dataclasses import dataclass, field
 
 from ..config import MemoryTechnology, Protection
 from ..errors import MappingError
-from ..profile.blocks import BlockKind
-from .costs import ScenarioCost, ScenarioCostModel
+from .costs import ScenarioCostModel
 from .plan import MappingPlan
-from .priorities import OptimizationMode, Thresholds, thresholds_for_mode
+from .priorities import OptimizationMode, thresholds_for_mode
 
 
 @dataclass(frozen=True)

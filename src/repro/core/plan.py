@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from ..config import Protection
 from ..errors import MappingError
 from ..mem.hierarchy import DSPM_BASE, ISPM_BASE
-from ..profile.blocks import BlockKind
 
 
 @dataclass

@@ -16,7 +16,7 @@ codeword ``i % ways``.
 from __future__ import annotations
 
 from ..errors import FaultInjectionError
-from .codec import DecodeOutcome, ErrorClass
+from .codec import ErrorClass
 
 #: severity ordering for aggregating per-way outcomes
 _SEVERITY = {

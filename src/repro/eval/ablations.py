@@ -20,13 +20,12 @@ import math
 from ..config import ftspm_config
 from ..core.baselines import hybrid_write_aware_plan
 from ..core.costs import ScenarioCostModel
-from ..core.mda import MappingDeterminer
 from ..core.priorities import OptimizationMode, thresholds_for_mode
 from ..faults.avf import region_surface_vulnerability
 from ..faults.mbu import MbuDistribution
+from ..pipeline import get_context
 from ..tech.params import TECHNOLOGY_NODES
-from ..workloads.synthetic import mibench_names, synthetic_profile
-from .structures import evaluate_structure
+from ..workloads.synthetic import mibench_names
 from .experiments import EXPERIMENTS, ExperimentResult
 
 
@@ -38,7 +37,9 @@ def _geomean(values):
 
 
 def _suite_profiles():
-    return [(name, synthetic_profile(name)) for name in mibench_names()]
+    context = get_context()
+    return [(name, context.synthetic_profile(name))
+            for name in mibench_names()]
 
 
 def _swapped_placement_vulnerability(profile, plan, config):
@@ -78,14 +79,13 @@ def _swapped_placement_vulnerability(profile, plan, config):
 def experiment_ablation_reliability_awareness():
     """Step 6's susceptibility-aware ECC/parity split vs its inverse,
     plus the endurance view against the reliability-blind Hu mapper."""
-    config = ftspm_config()
     headers = ["Benchmark", "MDA vuln", "Swap vuln", "MDA cycles",
                "Swap cycles", "MDA dominated?", "Write-aware STT rate"]
     rows = []
     dominated = 0
     rate_pairs = []
     for name, profile in _suite_profiles():
-        mda_plan = MappingDeterminer(config).map(profile).plan
+        config, mda_plan, _ = get_context().plan(profile, "ftspm")
         swap_plan = _swapped_placement_vulnerability(
             profile, mda_plan, config)
         mda_vuln = region_surface_vulnerability(
@@ -139,7 +139,8 @@ def experiment_ablation_region_sizes():
         vulns, energies, rates = [], [], []
         leakage = None
         for name, profile in _suite_profiles():
-            evaluation = evaluate_structure(profile, "ftspm", config=config)
+            evaluation = get_context().evaluation(profile, "ftspm",
+                                                  config=config)
             vulns.append(max(evaluation.vulnerability, 1e-9))
             energies.append(evaluation.dynamic_energy)
             leakage = evaluation.leakage_power
@@ -174,9 +175,8 @@ def experiment_ablation_priorities():
     for mode in OptimizationMode:
         vulns, perf, energy, rates = [], [], [], []
         for name, profile in _suite_profiles():
-            mda = MappingDeterminer(
-                config, thresholds=thresholds_for_mode(mode))
-            result = mda.map(profile)
+            _, _, result = get_context().plan(
+                profile, "ftspm", thresholds=thresholds_for_mode(mode))
             vulns.append(max(region_surface_vulnerability(
                 result.plan, profile).vulnerability, 1e-9))
             perf.append(result.perf_overhead)
@@ -212,7 +212,6 @@ def _stt_rate(profile, plan, config):
 
 def experiment_ablation_mbu():
     """Vulnerability advantage across technology nodes."""
-    config = ftspm_config()
     headers = ["Node (nm)", "P(1 bit)", "SRAM baseline vuln",
                "FTSPM geomean vuln", "Ratio"]
     rows = []
@@ -222,7 +221,7 @@ def experiment_ablation_mbu():
         sram_vuln = mbu.p_at_least(2)  # uniform SEC-DED surface constant
         ftspm_vulns = []
         for name, profile in _suite_profiles():
-            plan = MappingDeterminer(config).map(profile).plan
+            _, plan, _ = get_context().plan(profile, "ftspm")
             ftspm_vulns.append(max(region_surface_vulnerability(
                 plan, profile, mbu=mbu).vulnerability, 1e-9))
         geomean = _geomean(ftspm_vulns)
@@ -254,6 +253,7 @@ def experiment_ablation_interleaving(trials=25_000, seed=0x1EAF):
     from ..ecc import InterleavedCodec, SecDedCodec
     from ..ecc.codec import ErrorClass
 
+    context = get_context()
     mbu = MbuDistribution.for_node(40)
     headers = ["Scheme", "Harmful fraction", "SDC fraction",
                "Relative access energy"]
@@ -261,19 +261,26 @@ def experiment_ablation_interleaving(trials=25_000, seed=0x1EAF):
     data = {}
     for ways in (1, 2, 4, 8):
         codec = InterleavedCodec(SecDedCodec(64), ways=ways)
-        rng = random.Random(seed + ways)
-        harmful = sdc = 0
-        for _ in range(trials):
-            words = [rng.getrandbits(64) for _ in range(ways)]
-            physical = codec.encode_group(words)
-            pattern = mbu.sample_pattern(rng, codec.codeword_bits)
-            outcome = codec.classify_group(words, pattern.apply(physical))
-            if outcome in (ErrorClass.DUE, ErrorClass.SDC):
-                harmful += 1
-            if outcome is ErrorClass.SDC:
-                sdc += 1
+
+        def strike_campaign(ways=ways, codec=codec):
+            rng = random.Random(seed + ways)
+            harmful = sdc = 0
+            for _ in range(trials):
+                words = [rng.getrandbits(64) for _ in range(ways)]
+                physical = codec.encode_group(words)
+                pattern = mbu.sample_pattern(rng, codec.codeword_bits)
+                outcome = codec.classify_group(words,
+                                               pattern.apply(physical))
+                if outcome in (ErrorClass.DUE, ErrorClass.SDC):
+                    harmful += 1
+                if outcome is ErrorClass.SDC:
+                    sdc += 1
+            return {"harmful": harmful, "sdc": sdc}
+
+        counts = context.artifact("interleave-mc", (ways, trials, seed),
+                                  strike_campaign)
         label = "SEC-DED x%d interleave" % ways
-        row = [label, harmful / trials, sdc / trials,
+        row = [label, counts["harmful"] / trials, counts["sdc"] / trials,
                codec.energy_factor()]
         rows.append(row)
         data[ways] = {"harmful": row[1], "sdc": row[2],
@@ -281,7 +288,7 @@ def experiment_ablation_interleaving(trials=25_000, seed=0x1EAF):
     # FTSPM reference: suite geomean vulnerability and its energy ratio
     ftspm_vulns = []
     for name, profile in _suite_profiles():
-        plan = MappingDeterminer(ftspm_config()).map(profile).plan
+        _, plan, _ = context.plan(profile, "ftspm")
         ftspm_vulns.append(max(region_surface_vulnerability(
             plan, profile).vulnerability, 1e-9))
     rows.append(["FTSPM (structural)", _geomean(ftspm_vulns), "-", "<1"])
@@ -312,20 +319,36 @@ def experiment_ablation_scrubbing(words=8_000, strike_rate=1.5):
                "SDC fraction", "Scrub reads/word"]
     rows = []
     data = {}
+    context = get_context()
     for protection, label in ((Protection.SECDED, "SEC-DED"),
                               (Protection.PARITY, "parity")):
         data[label] = {}
         for epochs in (1, 2, 4, 16, 64):
-            campaign = AccumulationCampaign(
-                protection=protection, strike_rate=strike_rate,
-                scrub_epochs=epochs, seed=0x5C12B + epochs)
-            result = campaign.run(words=words)
-            rows.append([label, epochs, result.harmful_fraction,
-                         result.sdc_fraction,
-                         result.scrub_reads / result.words])
+            seed = 0x5C12B + epochs
+
+            def accumulate(protection=protection, epochs=epochs,
+                           seed=seed):
+                campaign = AccumulationCampaign(
+                    protection=protection, strike_rate=strike_rate,
+                    scrub_epochs=epochs, seed=seed)
+                result = campaign.run(words=words)
+                return {
+                    "harmful_fraction": result.harmful_fraction,
+                    "sdc_fraction": result.sdc_fraction,
+                    "scrub_reads_per_word":
+                        result.scrub_reads / result.words,
+                }
+
+            outcome = context.artifact(
+                "scrub-mc",
+                (protection.value, words, strike_rate, epochs, seed),
+                accumulate)
+            rows.append([label, epochs, outcome["harmful_fraction"],
+                         outcome["sdc_fraction"],
+                         outcome["scrub_reads_per_word"]])
             data[label][epochs] = {
-                "harmful": result.harmful_fraction,
-                "sdc": result.sdc_fraction,
+                "harmful": outcome["harmful_fraction"],
+                "sdc": outcome["sdc_fraction"],
             }
     rows.append(["STT-RAM (immune)", "-", 0.0, 0.0, 0.0])
     return ExperimentResult(

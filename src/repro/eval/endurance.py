@@ -15,7 +15,7 @@ magnitude (40 minutes vs 61 days at 1e12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..units import format_lifetime
 

@@ -13,7 +13,6 @@ Section IV scalars) execute the real program on the simulator.
 
 from __future__ import annotations
 
-import functools
 import math
 from dataclasses import dataclass, field
 
@@ -22,21 +21,15 @@ from ..config import (
     baseline_sttram_config,
     ftspm_config,
 )
-from ..core.mda import MappingDeterminer
-from ..core.online import build_machine
-from ..core.priorities import OptimizationMode, thresholds_for_mode
 from ..errors import ConfigurationError
-from ..faults.avf import region_surface_vulnerability
-from ..faults.mbu import MbuDistribution
-from ..profile.profiler import profile_program
+from ..pipeline import get_context
 from ..profile.report import format_profile_table
 from ..tech.nvsim_lite import ArrayModel
 from ..units import PICOJOULE, format_lifetime
-from ..workloads.case_study import case_study_program
-from ..workloads.synthetic import MIBENCH_SUITE, mibench_names, synthetic_profile
+from ..workloads.synthetic import mibench_names
 from .distribution import region_distribution
-from .endurance import WRITE_THRESHOLDS, endurance_analysis
-from .structures import STRUCTURES, evaluate_structure, plan_for_structure
+from .endurance import endurance_analysis
+from .structures import STRUCTURES
 from .tables import render_table
 
 
@@ -60,52 +53,26 @@ class ExperimentResult:
 
 
 # --- shared pipelines -------------------------------------------------------
+#
+# Every experiment draws its artifacts (profiles, plans, evaluations,
+# simulation scalars) from the process-wide EvaluationContext, so a full
+# report assembles, simulates, and profiles each unique workload exactly
+# once — and replays from disk when the context carries an ArtifactStore.
+# The thin wrappers below keep the historic private entry points alive.
 
-@functools.lru_cache(maxsize=None)
+
 def _suite_evaluations():
     """{benchmark: {structure: StructureEvaluation}} over the suite."""
-    results = {}
-    for name in mibench_names():
-        profile = synthetic_profile(name)
-        results[name] = {
-            structure: evaluate_structure(profile, structure)
-            for structure in STRUCTURES
-        }
-    return results
+    return get_context().suite_evaluations()
 
 
-@functools.lru_cache(maxsize=None)
 def _case_study_profile(array_words, outer_iterations):
-    program = case_study_program(array_words, outer_iterations)
-    return program, profile_program(program)
+    return get_context().case_study(array_words, outer_iterations)
 
 
-@functools.lru_cache(maxsize=None)
 def _case_study_runs(array_words, outer_iterations):
-    """Full-simulation runs of the case study on all three structures."""
-    program, profile = _case_study_profile(array_words, outer_iterations)
-    runs = {}
-    for structure in STRUCTURES:
-        config, plan, mda_result = plan_for_structure(profile, structure)
-        machine = build_machine(program, config, plan, profile)
-        run = machine.run()
-        breakdown = region_surface_vulnerability(
-            plan, profile,
-            mbu=MbuDistribution.for_node(config.technology_node_nm),
-            uniform=structure != "ftspm")
-        runs[structure] = {
-            "config": config,
-            "plan": plan,
-            "machine": machine,
-            "run": run,
-            "cycles": run.cycles,
-            "dynamic_energy": machine.dynamic_energy(),
-            "static_energy": machine.static_energy(),
-            "vulnerability": breakdown.vulnerability,
-            "reliability": breakdown.reliability,
-            "mda_result": mda_result,
-        }
-    return program, profile, runs
+    """Full-simulation scalars of the case study on all three structures."""
+    return get_context().case_runs(array_words, outer_iterations)
 
 
 # --- Table I -----------------------------------------------------------------
@@ -147,8 +114,7 @@ def experiment_table1(array_words=256, outer_iterations=4):
 def experiment_table2(array_words=256, outer_iterations=4):
     """Table II: MDA output for the case study."""
     _, profile = _case_study_profile(array_words, outer_iterations)
-    config = ftspm_config()
-    result = MappingDeterminer(config).map(profile)
+    _, _, result = get_context().plan(profile, "ftspm")
     headers = ["Block", "Mapped to SPM", "Region"]
     rows = [list(row) for row in result.plan.table_rows(profile)]
     placement = {row[0]: row[2] for row in rows}
@@ -173,7 +139,7 @@ def experiment_table3(array_words=256, outer_iterations=4):
     """Table III: endurance of pure STT-RAM SPM vs FTSPM (case study)."""
     _, profile = _case_study_profile(array_words, outer_iterations)
     evaluations = {
-        structure: evaluate_structure(profile, structure)
+        structure: get_context().evaluation(profile, structure)
         for structure in ("baseline-sttram", "ftspm")
     }
     analysis = endurance_analysis(evaluations)
@@ -231,9 +197,8 @@ def experiment_table4():
 def experiment_fig2(array_words=256, outer_iterations=4):
     """Fig. 2: case-study read/write distribution over FTSPM."""
     _, profile = _case_study_profile(array_words, outer_iterations)
-    config = ftspm_config()
-    result = MappingDeterminer(config).map(profile)
-    dist = region_distribution(profile, result.plan, config)
+    config, plan, _ = get_context().plan(profile, "ftspm")
+    dist = region_distribution(profile, plan, config)
     headers = ["Bucket", "Read %", "Write %"]
     rows = []
     for bucket, label in (("ispm-stt", "I-SPM (STT-RAM)"),
@@ -311,9 +276,10 @@ def experiment_fig4():
                "Parity W% (SRAM)", "Unmapped %"]
     rows = []
     data = {"stt_write_fraction": {}, "sram_write_share": {}}
+    context = get_context()
     for name in mibench_names():
-        profile = synthetic_profile(name)
-        config, plan, _ = plan_for_structure(profile, "ftspm")
+        profile = context.synthetic_profile(name)
+        config, plan, _ = context.plan(profile, "ftspm")
         dist = region_distribution(profile, plan, config)
         rows.append([
             name,
@@ -342,14 +308,24 @@ def _measured_vulnerability(profile, structure, trials, jobs, seed):
     """95% Wilson CI of a measured campaign on one (workload, structure).
 
     Uses the region-surface reading of Fig. 5, so the interval is
-    directly comparable to the analytic value in the same row.
+    directly comparable to the analytic value in the same row.  The
+    interval is a pipeline artifact: deterministic in (profile,
+    structure, trials, seed), so a disk-backed context replays it.
     """
-    from ..campaign import CampaignRunner, CampaignSpec
+    context = get_context()
 
-    spec = CampaignSpec.from_structure(
-        profile, structure, trials=trials, seed=seed)
-    summary = CampaignRunner(spec, jobs=jobs).run()
-    return summary.interval("harmful")
+    def compute():
+        from ..campaign import CampaignRunner, CampaignSpec
+
+        spec = CampaignSpec.from_structure(
+            profile, structure, trials=trials, seed=seed)
+        summary = CampaignRunner(spec, jobs=jobs).run()
+        return summary.interval("harmful")
+
+    return context.artifact(
+        "measured-vulnerability",
+        (context.profile_key(profile), structure, trials, seed),
+        compute)
 
 
 # --- Fig. 5 -------------------------------------------------------------------
@@ -379,8 +355,8 @@ def experiment_fig5(measured_trials=0, measured_jobs=1,
         row = [name, ftspm.vulnerability, sram.vulnerability, ratio]
         if measured_trials:
             interval = _measured_vulnerability(
-                synthetic_profile(name), "ftspm", measured_trials,
-                measured_jobs, measured_seed)
+                get_context().synthetic_profile(name), "ftspm",
+                measured_trials, measured_jobs, measured_seed)
             measured[name] = {
                 "vulnerability": interval.point,
                 "low": interval.low,
@@ -635,37 +611,26 @@ def experiment_kernels_sweep(kernels=None):
     through the routed memory hierarchy, and every run's outputs are
     checked against the Python golden results.
     """
-    from ..workloads.kernels import kernel_names, kernel_program
+    from ..workloads.kernels import kernel_names
 
     headers = ["Kernel", "Structure", "Cycles", "Dyn energy (nJ)",
                "Static energy (nJ)", "Max STT word writes", "Golden"]
     rows = []
     data = {"ftspm_dyn_over_sram": {}, "verified": 0, "runs": 0}
+    context = get_context()
     for name in kernels or kernel_names():
-        build = kernel_program(name)
-        profile = profile_program(build.program)
         per_structure = {}
         for structure in STRUCTURES:
-            config, plan, _ = plan_for_structure(profile, structure)
-            machine = build_machine(build.program, config, plan, profile)
-            run = machine.run()
-            verified = all(
-                int.from_bytes(machine.memory.peek_bytes(
-                    build.program.symbol(symbol), 4), "little") == expected
-                for symbol, expected in build.expected.items())
-            stt_writes = max(
-                (device.max_word_writes
-                 for device in machine.memory.spm_devices()
-                 if device.technology_tag == "stt-ram"), default=0)
-            per_structure[structure] = machine.dynamic_energy()
+            outcome = context.kernel_run(name, structure)
+            per_structure[structure] = outcome["dynamic_energy"]
             data["runs"] += 1
-            data["verified"] += verified
+            data["verified"] += outcome["verified"]
             rows.append([
-                name, structure, run.cycles,
-                machine.dynamic_energy() * 1e9,
-                machine.static_energy() * 1e9,
-                stt_writes,
-                "ok" if verified else "FAIL",
+                name, structure, outcome["cycles"],
+                outcome["dynamic_energy"] * 1e9,
+                outcome["static_energy"] * 1e9,
+                outcome["stt_writes"],
+                "ok" if outcome["verified"] else "FAIL",
             ])
         data["ftspm_dyn_over_sram"][name] = (
             per_structure["ftspm"] / per_structure["baseline-sram"])

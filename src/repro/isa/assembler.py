@@ -38,7 +38,7 @@ data blocks); ``.func name`` … ``.endfunc`` delimit *code blocks*.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import AssemblyError, EncodingError
 from .instructions import (

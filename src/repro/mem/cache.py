@@ -106,16 +106,16 @@ class Cache:
             self.backing.poke_bytes(
                 address, (value & ((1 << (8 * size)) - 1)).to_bytes(
                     size, "little"))
-            self.stats.accesses_stats.record_write(
-                size, cycles, self.energy_model.write_energy)
+            energy = self.energy_model.write_energy
+            self.stats.accesses_stats.record_write(size, cycles, energy)
             read_value = value
         else:
             read_value = int.from_bytes(
                 self.backing.peek_bytes(address, size), "little")
-            self.stats.accesses_stats.record_read(
-                size, cycles, self.energy_model.read_energy)
+            energy = self.energy_model.read_energy
+            self.stats.accesses_stats.record_read(size, cycles, energy)
         return AccessResult(value=read_value, cycles=cycles,
-                            device_name=self.name)
+                            device_name=self.name, energy=energy)
 
     def _find(self, lines, tag):
         for line in lines:

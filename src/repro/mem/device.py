@@ -20,11 +20,17 @@ from .stats import AccessStats, EnergyModel
 
 @dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one architectural access."""
+    """Outcome of one architectural access.
+
+    ``energy`` is the dynamic energy charged to the servicing device for
+    this access (also accumulated into its stats); the event bus carries
+    it so energy consumers can subscribe instead of polling devices.
+    """
 
     value: int
     cycles: int
     device_name: str
+    energy: float = 0.0
 
 
 class MemoryDevice:
@@ -69,8 +75,10 @@ class MemoryDevice:
         offset = self._offset(address, size)
         value = int.from_bytes(self._storage[offset:offset + size], "little")
         cycles = self.read_latency
-        self.stats.record_read(size, cycles, self.energy_model.read_energy)
-        return AccessResult(value=value, cycles=cycles, device_name=self.name)
+        energy = self.energy_model.read_energy
+        self.stats.record_read(size, cycles, energy)
+        return AccessResult(value=value, cycles=cycles,
+                            device_name=self.name, energy=energy)
 
     def write(self, address, size, value):
         """Perform an accounted write; returns an :class:`AccessResult`."""
@@ -78,9 +86,11 @@ class MemoryDevice:
         self._storage[offset:offset + size] = (
             value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
         cycles = self.write_latency
-        self.stats.record_write(size, cycles, self.energy_model.write_energy)
+        energy = self.energy_model.write_energy
+        self.stats.record_write(size, cycles, energy)
         self._note_write(offset, size)
-        return AccessResult(value=value, cycles=cycles, device_name=self.name)
+        return AccessResult(value=value, cycles=cycles,
+                            device_name=self.name, energy=energy)
 
     def _note_write(self, offset, size):
         """Hook for subclasses that track wear (STT-RAM endurance)."""

@@ -7,14 +7,17 @@ this SPM address" — exactly as the paper's inserted transfer instructions
 make the code address the SPM copy.  The router consults the remap table
 first; unmapped references go through the L1 cache to DRAM.
 
-Observers can subscribe to every routed access; the profiler uses this to
-attribute accesses to program blocks.
+Every routed access is published on the memory system's
+:class:`~repro.events.EventBus` as a typed
+:class:`~repro.events.AccessEvent`; the profiler, trace recorder, energy
+ledger, and ACE tracker all subscribe to that one stream.  The legacy
+``add_observer`` positional-callback API remains as a thin adapter.
 
-An access that *starts* inside a live mapping but runs past its end is
-rejected (it would otherwise silently read the stale DRAM copy).  The
-symmetric case — an access starting just below a mapping and ending
-inside it — is not checked on the hot path; block placements are
-word-aligned in practice, and the assembler never emits such a pattern.
+Accesses that straddle a live mapping boundary are rejected in both
+directions: one that *starts* inside a mapping but runs past its end,
+and the symmetric partial overlap that starts just below a mapping and
+ends inside it.  Either would otherwise silently touch the stale DRAM
+copy of the mapped bytes.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import enum
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError, MemoryAccessError
+from ..events import EventBus, EventKind, LegacyObserverAdapter
 from .cache import Cache
 from .dram import DramDevice
 from .spm import build_scratchpad
@@ -82,17 +86,24 @@ class MemorySystem:
             config.data_spm, DSPM_BASE, energy_models)
         self._remap_starts = []  # sorted home_start keys
         self._remap_entries = []  # parallel RemapEntry list
-        self._observers = []
+        self.events = EventBus()
+        self._legacy_adapters = {}
 
-    # --- observers ----------------------------------------------------------
+    # --- observers (legacy adapter over the event bus) ----------------------
 
     def add_observer(self, callback):
         """Register ``callback(access_type, home_address, size, is_write,
-        device_name, cycles)``; called on every architectural access."""
-        self._observers.append(callback)
+        device_name, cycles)``; called on every architectural access.
+
+        Legacy API: the callback is wrapped as a subscriber on
+        :attr:`events`.  New code should subscribe to the bus directly.
+        """
+        adapter = LegacyObserverAdapter(callback)
+        self._legacy_adapters[callback] = adapter
+        self.events.subscribe(adapter)
 
     def remove_observer(self, callback):
-        self._observers.remove(callback)
+        self.events.unsubscribe(self._legacy_adapters.pop(callback))
 
     # --- remapping (online phase) --------------------------------------------
 
@@ -169,6 +180,13 @@ class MemorySystem:
                 result = spm.write(spm_address, size, value)
             else:
                 result = spm.read(spm_address, size)
+        elif self._straddles_next_remap(address, size):
+            # The symmetric partial overlap: starting just below a live
+            # mapping and ending inside it.  Routing it to DRAM would
+            # silently touch the stale copy of the mapped tail bytes.
+            raise MemoryAccessError(
+                "access straddles into a mapped block",
+                address=address)
         elif self.instruction_spm.contains(address, size):
             result = (self.instruction_spm.write(address, size, value)
                       if is_write else self.instruction_spm.read(address, size))
@@ -179,10 +197,22 @@ class MemorySystem:
             result = self.cache.access(address, size, is_write, value)
         else:
             raise MemoryAccessError("unmapped address", address=address)
-        for observer in self._observers:
-            observer(access_type, address, size, is_write,
-                     result.device_name, result.cycles)
+        if is_write:
+            kind = EventKind.WRITE
+        elif access_type is AccessType.FETCH:
+            kind = EventKind.FETCH
+        else:
+            kind = EventKind.READ
+        self.events.publish_access(kind, address, size, result.device_name,
+                                   result.cycles, result.energy)
         return result
+
+    def _straddles_next_remap(self, address, size):
+        """True if ``[address, address+size)`` runs into a live mapping
+        whose start lies strictly inside the access."""
+        index = bisect.bisect_right(self._remap_starts, address)
+        return (index < len(self._remap_starts)
+                and self._remap_starts[index] < address + size)
 
     # --- raw access for the loader / fault injector -----------------------------
 

@@ -9,7 +9,7 @@ energy model.
 
 from __future__ import annotations
 
-from ..config import MemoryTechnology, Protection
+from ..config import MemoryTechnology
 from ..errors import ConfigurationError, MemoryAccessError
 from .sram import SramDevice
 from .sttram import SttRamDevice

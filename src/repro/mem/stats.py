@@ -8,7 +8,7 @@ technology-derived per-access scalars (produced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,44 @@
+"""Cached, single-pass evaluation pipeline.
+
+One :class:`EvaluationContext` feeds every experiment: workloads are
+assembled, simulated, profiled, planned, and evaluated exactly once per
+unique content, memoized under SHA-256 content-hash keys and optionally
+persisted in a disk-backed :class:`ArtifactStore` (``repro report
+--cache-dir``).  See ``docs/architecture.md``.
+"""
+
+from .context import (
+    EvaluationContext,
+    PipelineCounters,
+    get_context,
+    set_context,
+    using_context,
+)
+from .keys import (
+    SCHEMA_VERSION,
+    artifact_key,
+    canonical_json,
+    config_fingerprint,
+    digest,
+    profile_fingerprint,
+    program_fingerprint,
+    thresholds_fingerprint,
+)
+from .store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "EvaluationContext",
+    "PipelineCounters",
+    "SCHEMA_VERSION",
+    "artifact_key",
+    "canonical_json",
+    "config_fingerprint",
+    "digest",
+    "get_context",
+    "profile_fingerprint",
+    "program_fingerprint",
+    "set_context",
+    "thresholds_fingerprint",
+    "using_context",
+]

@@ -1,0 +1,74 @@
+"""Disk-backed artifact store for the evaluation pipeline.
+
+A tiny content-addressed object store: artifacts are pickled under
+``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the SHA-256 artifact
+key from :mod:`repro.pipeline.keys`.  Writes are atomic (temp file +
+rename), so a crashed or concurrent writer can never leave a torn
+artifact; reads treat any unreadable entry as a miss (the artifact is
+simply recomputed and rewritten).
+
+The store never invalidates: keys are content hashes salted with the
+pipeline schema version, so a stale entry is unreachable, not wrong.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+_MISS = object()
+
+
+class ArtifactStore:
+    """Pickle-per-key store rooted at a directory."""
+
+    def __init__(self, root):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def contains(self, key):
+        return os.path.exists(self._path(key))
+
+    def get(self, key, default=None):
+        """Load the artifact at ``key``; any failure reads as a miss."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key, value):
+        """Atomically persist ``value`` under ``key``; returns ``value``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=os.path.dirname(path), delete=False)
+        try:
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return value
+
+    def __len__(self):
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".pkl"))
+        return count

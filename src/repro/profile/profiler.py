@@ -1,7 +1,8 @@
 """Trace-driven profiler producing per-block statistics.
 
-Attaches to a :class:`~repro.sim.machine.Machine` as a memory-system
-observer plus a CPU call listener and accumulates, per program block:
+Subscribes to a :class:`~repro.sim.machine.Machine`'s access-event bus
+(one stream carrying fetches, data accesses, and call events) and
+accumulates, per program block:
 
 * read/write counts (instruction fetches count as reads of code blocks),
 * *references* — contiguous activation episodes: for code blocks an
@@ -25,11 +26,12 @@ and orderings are what the mapping algorithm consumes).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import baseline_sram_config
 from ..errors import ProfileError
-from ..mem.hierarchy import AccessType
+from ..events import AccessEvent, CallEvent, EventSubscriber
+from ..faults.ace import AceTracker
 from ..sim.machine import Machine
 from .blocks import BlockKind, ProgramBlock, STACK_BLOCK_NAME, enumerate_blocks
 
@@ -146,8 +148,10 @@ class Profile:
         return sum(stats.accesses for stats in self.blocks.values())
 
 
-class Profiler:
-    """Observer that accumulates a :class:`Profile` while a machine runs."""
+class Profiler(EventSubscriber):
+    """Bus subscriber that accumulates a :class:`Profile` while a
+    machine runs.  One subscription on the machine's event bus delivers
+    fetches, data accesses, and call events uniformly."""
 
     def __init__(self, machine, include_stack=True):
         self.machine = machine
@@ -162,7 +166,7 @@ class Profiler:
         self._current_data = None
         self._code_episode_start = 0
         self._data_episode_start = 0
-        self._last_touch = {}
+        self._ace = AceTracker()  # the fault model's ACE accounting
         self._stack_low = None  # lowest stack address touched
         self._attached = False
 
@@ -171,15 +175,13 @@ class Profiler:
     def attach(self):
         if self._attached:
             raise ProfileError("profiler is already attached")
-        self.machine.memory.add_observer(self._on_access)
-        self.machine.cpu.call_listeners.append(self._on_call)
+        self.machine.events.subscribe(self)
         self._attached = True
         return self
 
     def detach(self):
         if self._attached:
-            self.machine.memory.remove_observer(self._on_access)
-            self.machine.cpu.call_listeners.remove(self._on_call)
+            self.machine.events.unsubscribe(self)
             self._attached = False
 
     # --- event handlers ------------------------------------------------------
@@ -187,18 +189,16 @@ class Profiler:
     def _now(self):
         return self.machine.cpu.stats.cycles
 
-    def _on_call(self, target):
-        block = self._code_index.lookup(target)
+    def on_call(self, event: CallEvent):
+        block = self._code_index.lookup(event.target)
         if block is not None:
             self._stats[block.name].stack_calls += 1
 
-    def _on_access(self, access_type, address, size, is_write,
-                   device_name, cycles):
-        now = self._now()
-        if access_type is AccessType.FETCH:
-            self._record_fetch(address, now)
+    def on_access(self, event: AccessEvent):
+        if event.is_fetch:
+            self._record_fetch(event.address, event.at_cycle)
         else:
-            self._record_data(address, is_write, now)
+            self._record_data(event.address, event.is_write, event.at_cycle)
 
     def _record_fetch(self, address, now):
         block = self._code_index.lookup(address)
@@ -239,10 +239,7 @@ class Profiler:
         if stats.first_touch_cycle is None:
             stats.first_touch_cycle = now
         stats.last_touch_cycle = now
-        last = self._last_touch.get(stats.name)
-        if not is_write and last is not None:
-            stats.ace_cycles += now - last
-        self._last_touch[stats.name] = now
+        self._ace.record(stats.name, now, is_write)
 
     def _close_code_episode(self, now):
         if self._current_code is not None:
@@ -265,6 +262,8 @@ class Profiler:
         self._current_data = None
         self.detach()
         self._shrink_stack_block()
+        for name, cycles in self._ace.ace_cycles.items():
+            self._stats[name].ace_cycles = cycles
         return Profile(
             program=self.machine.program,
             blocks=self._stats,

@@ -17,7 +17,6 @@ call-target fetches) are exact.
 
 from __future__ import annotations
 
-from ..errors import ProfileError
 from .blocks import BlockKind, ProgramBlock, STACK_BLOCK_NAME, enumerate_blocks
 from .profiler import BlockStats, Profile, _IntervalIndex
 

@@ -84,13 +84,17 @@ class Cpu:
     machine: ``data_access(address, size, is_write, value) -> (value, cycles)``.
     """
 
-    def __init__(self, data_access):
+    def __init__(self, data_access, events=None):
         self.state = CpuState()
         self.stats = ExecStats()
         self._data_access = data_access
         self.halted = False
-        #: callables invoked with the target address on every BL (function
-        #: call); the profiler uses this to count stack calls per block.
+        #: event bus ``bl`` targets are published on as
+        #: :class:`~repro.events.CallEvent`; the machine wires this to the
+        #: memory system's bus so one stream carries calls and accesses.
+        self.events = events
+        #: legacy hook: callables invoked with the target address on every
+        #: BL.  New code should subscribe to the event bus instead.
         self.call_listeners = []
 
     # --- flag helpers ---------------------------------------------------------
@@ -347,6 +351,8 @@ class Cpu:
             target = instruction.operands[0].value
             if mnemonic is Mnemonic.BL:
                 self._write_register(LR, self.state.pc)
+                if self.events is not None:
+                    self.events.publish_call(target)
                 for listener in self.call_listeners:
                     listener(target)
         self.state.pc = target

@@ -105,7 +105,12 @@ class Machine:
         self.memory = MemorySystem(config, energy_models)
         self.dma = DmaEngine(self.memory)
         self.schedule = schedule or TransferSchedule()
-        self.cpu = Cpu(self._data_access)
+        #: the shared access-event bus: memory accesses and CPU call
+        #: events are published on the same stream, stamped with the
+        #: CPU cycle counter.
+        self.events = self.memory.events
+        self.cpu = Cpu(self._data_access, events=self.events)
+        self.events.clock = lambda: self.cpu.stats.cycles
         self._fired_triggers = set()
         self._triggers = self.schedule.triggered_actions()
         self._timed = self.schedule.timed_actions()

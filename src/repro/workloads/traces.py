@@ -20,6 +20,7 @@ import io
 from dataclasses import dataclass
 
 from ..errors import TraceError
+from ..events import AccessEvent, EventSubscriber
 from ..mem.hierarchy import AccessType
 
 
@@ -138,8 +139,8 @@ class Trace:
             return cls.parse(handle, name=path)
 
 
-class TraceRecorder:
-    """Memory-system observer that captures a :class:`Trace`."""
+class TraceRecorder(EventSubscriber):
+    """Event-bus subscriber that captures a :class:`Trace`."""
 
     def __init__(self, machine, name=None):
         self.machine = machine
@@ -149,24 +150,23 @@ class TraceRecorder:
     def attach(self):
         if self._attached:
             raise TraceError("recorder is already attached")
-        self.machine.memory.add_observer(self._on_access)
+        self.machine.events.subscribe(self)
         self._attached = True
         return self
 
     def detach(self):
         if self._attached:
-            self.machine.memory.remove_observer(self._on_access)
+            self.machine.events.unsubscribe(self)
             self._attached = False
         return self.trace
 
-    def _on_access(self, access_type, address, size, is_write,
-                   device_name, cycles):
-        if access_type is AccessType.FETCH:
-            self.trace.append(TraceRecord("F", address, size))
-        elif is_write:
-            self.trace.append(TraceRecord("W", address, size))
+    def on_access(self, event: AccessEvent):
+        if event.is_fetch:
+            self.trace.append(TraceRecord("F", event.address, event.size))
+        elif event.is_write:
+            self.trace.append(TraceRecord("W", event.address, event.size))
         else:
-            self.trace.append(TraceRecord("R", address, size))
+            self.trace.append(TraceRecord("R", event.address, event.size))
 
 
 def record_trace(program, config, schedule=None, max_instructions=None):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import baseline_sram_config, baseline_sttram_config, ftspm_config
-from repro.config import MemoryTechnology
 from repro.core import (
     build_machine,
     hybrid_write_aware_plan,

@@ -11,7 +11,6 @@ The hard guarantees under test:
 """
 
 import json
-import os
 
 import pytest
 

@@ -1,6 +1,5 @@
 """CPU data-processing semantics: arithmetic, logic, shifts, flags."""
 
-import pytest
 
 from conftest import register, run_source
 

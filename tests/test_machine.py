@@ -59,7 +59,7 @@ def test_static_schedule_maps_block_before_start():
     schedule = TransferSchedule().add_static_map(
         program.symbol("table"), 32, DSPM_BASE)
     machine = Machine(program, ftspm_config(), schedule=schedule)
-    result = machine.run()
+    machine.run()
     assert read_word(machine, "result") == 36
     # the parity region (first D-SPM region) absorbed the table reads
     parity = machine.memory.data_spm.region_named("dspm-parity")

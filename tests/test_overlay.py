@@ -3,7 +3,7 @@
 import pytest
 
 from repro import assemble, ftspm_config
-from repro.core import MappingDeterminer, build_machine, plan_with_overlays
+from repro.core import MappingDeterminer, plan_with_overlays
 from repro.profile import profile_program
 from repro.sim.machine import Machine, TransferAction, TransferSchedule
 

@@ -6,7 +6,6 @@ differ (our substrate is an analytic simulator); EXPERIMENTS.md records
 the measured values next to the paper's.
 """
 
-import math
 
 import pytest
 

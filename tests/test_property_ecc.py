@@ -1,6 +1,6 @@
 """Property-based tests for the ECC codecs (hypothesis)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ecc import DecodeOutcome, ParityCodec, SecDedCodec

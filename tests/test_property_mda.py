@@ -4,7 +4,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import ftspm_config
-from repro.config import MemoryTechnology
 from repro.core.mda import MappingDeterminer
 from repro.profile.blocks import BlockKind, ProgramBlock
 from repro.profile.profiler import BlockStats, Profile

@@ -101,6 +101,16 @@ def test_access_straddling_remap_end_rejected(memory):
     memory.access(0x403C, 4, False)
 
 
+def test_access_straddling_remap_start_rejected(memory):
+    """An access starting just below a mapped block and ending inside it
+    must fail loudly, not route to the stale DRAM copy."""
+    memory.install_remap(0x4000, 64, DSPM_BASE)
+    with pytest.raises(MemoryAccessError):
+        memory.access(0x3FFE, 4, False)
+    # an access ending exactly at the mapped start still routes normally
+    assert memory.access(0x3FFC, 4, False).device_name == "l1-cache"
+
+
 def test_remove_remap_restores_routing(memory):
     memory.install_remap(0x4000, 64, DSPM_BASE)
     memory.remove_remap(0x4000)

@@ -1,6 +1,5 @@
 """Trace recording, persistence, and replay."""
 
-import io
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine, baseline_sram_config
+from repro import Machine
 from repro.errors import ProfileError
 from repro.profile.blocks import BlockKind, STACK_BLOCK_NAME
 from repro.units import kilobytes
