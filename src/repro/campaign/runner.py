@@ -112,6 +112,7 @@ class CampaignSummary:
     elapsed: float = 0.0
     jobs: int = 1
     fresh_trials: int = 0
+    engine: str = None  # engine forced for this run (None = default)
 
     @property
     def completed_shards(self):
@@ -202,13 +203,17 @@ class CampaignRunner:
     """Shard, distribute, retry, checkpoint, and merge one campaign."""
 
     def __init__(self, spec, jobs=1, run_dir=None, resume=False,
-                 max_retries=DEFAULT_MAX_RETRIES, progress=None):
+                 max_retries=DEFAULT_MAX_RETRIES, progress=None,
+                 engine=None):
         if jobs < 1:
             raise CampaignError("jobs must be >= 1, got %r" % (jobs,))
         if max_retries < 0:
             raise CampaignError("max_retries must be >= 0")
         if resume and run_dir is None:
             raise CampaignError("resume requires a run directory")
+        if engine is not None:
+            from ..sim.fastpath import resolve_engine
+            resolve_engine(engine)  # reject typos at construction
         self.spec = spec
         self.jobs = jobs
         self.run_directory = (RunDirectory(run_dir)
@@ -216,10 +221,32 @@ class CampaignRunner:
         self.resume = resume
         self.max_retries = max_retries
         self.progress = progress
+        #: execution engine for any simulation the shards perform; None
+        #: defers to the process default.  Results are engine-invariant,
+        #: so shard journals stay resumable across engine choices.
+        self.engine = engine
 
     # --- orchestration ----------------------------------------------------------
 
     def run(self):
+        if self.engine is None:
+            return self._run()
+        # Install the engine as the process default for the duration and
+        # export it so pool workers (fresh processes) inherit the choice.
+        from ..sim.fastpath import ENGINE_ENV, set_default_engine
+        previous = set_default_engine(self.engine)
+        environment_before = os.environ.get(ENGINE_ENV)
+        os.environ[ENGINE_ENV] = self.engine
+        try:
+            return self._run()
+        finally:
+            set_default_engine(previous)
+            if environment_before is None:
+                os.environ.pop(ENGINE_ENV, None)
+            else:
+                os.environ[ENGINE_ENV] = environment_before
+
+    def _run(self):
         start = time.perf_counter()
         records = {}
         if self.run_directory is not None:
@@ -387,6 +414,7 @@ class _RunState:
             elapsed=time.perf_counter() - self.start,
             jobs=self.runner.jobs,
             fresh_trials=self.fresh_trials,
+            engine=self.runner.engine,
         )
 
     # --- progress ---------------------------------------------------------------

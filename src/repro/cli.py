@@ -18,6 +18,7 @@ executed kernel), or a MiBench-like suite name (profile-level only).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .config import preset
@@ -169,7 +170,8 @@ def _cmd_inject(args):
     spec = CampaignSpec.from_entries(
         plan.avf_entries(profile), plan.total_spm_bytes(),
         profile.total_cycles, trials=args.trials, seed=args.seed)
-    summary = CampaignRunner(spec, jobs=args.jobs).run()
+    summary = CampaignRunner(spec, jobs=args.jobs,
+                             engine=args.engine).run()
     _print_injection_counts(summary.result)
     interval = summary.interval("harmful")
     print("95%% Wilson CI:    [%.5f, %.5f]" % (interval.low, interval.high))
@@ -196,7 +198,7 @@ def _cmd_campaign(args):
     progress = None if args.no_progress else ProgressPrinter()
     runner = CampaignRunner(spec, jobs=args.jobs, run_dir=args.out,
                             resume=args.resume, max_retries=args.retries,
-                            progress=progress)
+                            progress=progress, engine=args.engine)
     summary = runner.run()
     print(summary.outcome_table())
     print()
@@ -248,6 +250,32 @@ def _cmd_trace(args):
     return 0
 
 
+def _cmd_golden(args):
+    from .sim.diffcheck import check_golden, golden_names, write_golden
+
+    names = args.names or None
+    known = set(golden_names())
+    for name in args.names:
+        if name not in known:
+            raise ReproError(
+                "unknown golden workload %r (one of: %s)"
+                % (name, ", ".join(golden_names())))
+    if args.update:
+        for path in write_golden(args.dir, names=names):
+            print("wrote %s" % path)
+        return 0
+    problems = check_golden(args.dir, names=names)
+    checked = names or golden_names()
+    if not problems:
+        print("golden corpus OK (%d workload(s) checked)" % len(checked))
+        return 0
+    for name, problem in sorted(problems.items()):
+        print("%s: %s" % (name, problem))
+    print("golden corpus MISMATCH (%d of %d workload(s))"
+          % (len(problems), len(checked)))
+    return 1
+
+
 def _cmd_disasm(args):
     program, _ = _resolve_workload(
         args.workload, args.array_words, args.outer_iterations, args.scale)
@@ -259,6 +287,14 @@ def _cmd_disasm(args):
     return 0
 
 
+def _add_engine_argument(parser):
+    from .sim.fastpath import ENGINES
+    parser.add_argument("--engine", choices=ENGINES, default=None,
+                        help="execution engine (default: auto, or "
+                             "REPRO_ENGINE; results are identical, only "
+                             "speed differs)")
+
+
 def _add_workload_arguments(parser):
     parser.add_argument("workload")
     parser.add_argument("--array-words", type=int, default=256,
@@ -267,6 +303,7 @@ def _add_workload_arguments(parser):
                         help="case-study outer loop count")
     parser.add_argument("--scale", type=int, default=1,
                         help="kernel input scale factor")
+    _add_engine_argument(parser)
 
 
 def build_parser():
@@ -295,7 +332,21 @@ def build_parser():
     p_report.add_argument("--timings", action="store_true",
                           help="print a per-experiment wall-clock table "
                                "to stderr")
+    _add_engine_argument(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_golden = sub.add_parser(
+        "golden",
+        help="check (or --update) the committed golden-trace corpus")
+    p_golden.add_argument("names", nargs="*", metavar="WORKLOAD",
+                          help="subset of corpus entries (default: all)")
+    p_golden.add_argument("--update", action="store_true",
+                          help="regenerate the corpus from the reference "
+                               "engine instead of checking it")
+    p_golden.add_argument("--dir", default=os.path.join("tests", "golden"),
+                          help="corpus directory (default: tests/golden)")
+    _add_engine_argument(p_golden)
+    p_golden.set_defaults(func=_cmd_golden)
 
     p_profile = sub.add_parser("profile", help="profile a workload")
     _add_workload_arguments(p_profile)
@@ -370,6 +421,9 @@ def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "engine", None):
+            from .sim.fastpath import set_default_engine
+            set_default_engine(args.engine)
         return args.func(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)

@@ -38,12 +38,14 @@ def schedule_for_plan(plan, profile):
 
 
 def build_machine(program, config, plan=None, profile=None,
-                  energy_models=None):
+                  energy_models=None, engine=None):
     """Wire a ready-to-run :class:`Machine` for a placement.
 
     With ``plan`` (and the ``profile`` that provides home addresses), the
     machine starts with the plan's static mappings scheduled; without a
-    plan it runs everything through the cache.
+    plan it runs everything through the cache.  ``engine`` selects the
+    execution engine (``None`` defers to the process default); either
+    engine yields byte-identical results.
     """
     energy_models = energy_models or energy_models_for(config)
     schedule = None
@@ -53,4 +55,4 @@ def build_machine(program, config, plan=None, profile=None,
                 "building a machine from a plan needs the profile")
         schedule = schedule_for_plan(plan, profile)
     return Machine(program, config, energy_models=energy_models,
-                   schedule=schedule)
+                   schedule=schedule, engine=engine)

@@ -86,6 +86,9 @@ class MemorySystem:
             config.data_spm, DSPM_BASE, energy_models)
         self._remap_starts = []  # sorted home_start keys
         self._remap_entries = []  # parallel RemapEntry list
+        #: bumped on every remap-table change; route caches (the fast
+        #: engine's per-block fetch routes) key their validity on it.
+        self.remap_version = 0
         self.events = EventBus()
         self._legacy_adapters = {}
 
@@ -124,6 +127,7 @@ class MemorySystem:
             raise ConfigurationError("remap overlaps an existing entry")
         self._remap_starts.insert(index, home_start)
         self._remap_entries.insert(index, entry)
+        self.remap_version += 1
         return entry
 
     def remove_remap(self, home_start):
@@ -135,6 +139,7 @@ class MemorySystem:
                 "no remap entry at 0x%08x" % home_start)
         entry = self._remap_entries.pop(index)
         self._remap_starts.pop(index)
+        self.remap_version += 1
         return entry
 
     def remap_for(self, address):
@@ -206,6 +211,44 @@ class MemorySystem:
         self.events.publish_access(kind, address, size, result.device_name,
                                    result.cycles, result.energy)
         return result
+
+    def constant_fetch_route(self, start, size):
+        """Classify how reads of ``[start, start + size)`` would route
+        *right now* (valid until :attr:`remap_version` changes).
+
+        Returns ``("spm", device)`` when every read in the range is
+        serviced by one constant-latency SPM device (whole range under a
+        single remap entry, or directly inside one SPM region),
+        ``("cache",)`` when the whole range misses the remap table and
+        the SPMs and goes through the L1 cache, and ``("mixed",)`` for
+        anything else — ranges straddling a mapping edge, a region
+        boundary, or unmapped space, which the caller must route
+        per-access through :meth:`access` to reproduce its exact
+        adjudication (including its errors).
+        """
+        entry = self.remap_for(start)
+        if entry is not None:
+            if start + size > entry.home_end:
+                return ("mixed",)
+            spm_start = entry.translate(start)
+            spm = self._spm_for(spm_start)
+            device = spm.region_of(spm_start)
+            if device.contains(spm_start, size):
+                return ("spm", device)
+            return ("mixed",)
+        if self._straddles_next_remap(start, size):
+            return ("mixed",)
+        for spm in (self.instruction_spm, self.data_spm):
+            if spm.contains(start, size):
+                device = spm.region_of(start)
+                if device.contains(start, size):
+                    return ("spm", device)
+                return ("mixed",)
+            if spm.contains(start) or spm.contains(start + size - 1):
+                return ("mixed",)
+        if self.dram.contains(start, size):
+            return ("cache",)
+        return ("mixed",)
 
     def _straddles_next_remap(self, address, size):
         """True if ``[address, address+size)`` runs into a live mapping

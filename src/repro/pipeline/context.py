@@ -69,10 +69,16 @@ class EvaluationContext:
     pipeline.  ``store`` may be None (in-memory only), a path, or an
     :class:`ArtifactStore`."""
 
-    def __init__(self, store=None):
+    def __init__(self, store=None, engine=None):
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self.store = store
+        #: execution engine for every simulation this context runs
+        #: (None defers to the process default).  Deliberately absent
+        #: from artifact keys: engines produce byte-identical results
+        #: (enforced by tests/test_differential.py), so artifacts are
+        #: interchangeable across engines and cache hits cross over.
+        self.engine = engine
         self.counters = PipelineCounters()
         self._memo = {}
         self._fingerprints = {}  # id(obj) -> cached content fingerprint
@@ -182,7 +188,8 @@ class EvaluationContext:
         def compute():
             self.counters.note_simulation(key)
             return profile_program(program, config=config,
-                                   max_instructions=max_instructions)
+                                   max_instructions=max_instructions,
+                                   engine=self.engine)
 
         return self.artifact("profile", parts, compute)
 
@@ -294,7 +301,8 @@ class EvaluationContext:
             self.counters.note_simulation(key)
             run_config, plan, _ = self.plan(profile, structure,
                                             config=config)
-            machine = build_machine(program, run_config, plan, profile)
+            machine = build_machine(program, run_config, plan, profile,
+                                    engine=self.engine)
             run = machine.run()
             breakdown = region_surface_vulnerability(
                 plan, profile,
@@ -331,7 +339,8 @@ class EvaluationContext:
         def compute():
             self.counters.note_simulation(key)
             config, plan, _ = self.plan(profile, structure)
-            machine = build_machine(build.program, config, plan, profile)
+            machine = build_machine(build.program, config, plan, profile,
+                                    engine=self.engine)
             run = machine.run()
             verified = all(
                 int.from_bytes(machine.memory.peek_bytes(

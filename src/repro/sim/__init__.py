@@ -7,15 +7,20 @@ transfer schedule (the online mapping phase) into a runnable platform.
 """
 
 from .cpu import Cpu, CpuState, ExecStats
+from .fastpath import ENGINES, default_engine, resolve_engine, set_default_engine
 from .machine import EXIT_ADDRESS, Machine, RunResult, TransferAction, TransferSchedule
 
 __all__ = [
     "Cpu",
     "CpuState",
     "ExecStats",
+    "ENGINES",
     "EXIT_ADDRESS",
     "Machine",
     "RunResult",
     "TransferAction",
     "TransferSchedule",
+    "default_engine",
+    "resolve_engine",
+    "set_default_engine",
 ]

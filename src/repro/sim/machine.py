@@ -97,11 +97,23 @@ class RunResult:
 
 
 class Machine:
-    """A complete simulated platform executing one program."""
+    """A complete simulated platform executing one program.
 
-    def __init__(self, program, config, energy_models=None, schedule=None):
+    ``engine`` selects the execution engine for :meth:`run`:
+    ``"reference"`` is the per-cycle step loop below, ``"fast"`` and
+    ``"auto"`` use the predecoded basic-block engine
+    (:class:`~repro.sim.fastpath.FastEngine`), which produces
+    byte-identical results and falls back to the reference loop
+    wherever exact per-cycle interleaving matters.  ``None`` defers to
+    the process default (:func:`~repro.sim.fastpath.default_engine`,
+    i.e. ``auto`` unless ``REPRO_ENGINE`` overrides it).
+    """
+
+    def __init__(self, program, config, energy_models=None, schedule=None,
+                 engine=None):
         self.program = program
         self.config = config
+        self.engine = engine
         self.memory = MemorySystem(config, energy_models)
         self.dma = DmaEngine(self.memory)
         self.schedule = schedule or TransferSchedule()
@@ -115,6 +127,9 @@ class Machine:
         self._triggers = self.schedule.triggered_actions()
         self._timed = self.schedule.timed_actions()
         self._timed_index = 0
+        self._fastpath = None
+        self._hooks = []  # sorted (instruction_count, callback) pairs
+        self._exact_windows = []  # (start, end) instruction-count ranges
         self._load_program()
         self._reset_cpu()
 
@@ -163,6 +178,31 @@ class Machine:
                                     access_type=AccessType.FETCH)
         return result.cycles
 
+    # --- instrumentation hooks ---------------------------------------------------
+
+    def at_instruction(self, count, callback):
+        """Invoke ``callback(machine)`` once, immediately before the
+        instruction with dynamic index ``count`` executes (i.e. when the
+        retired-instruction counter reaches ``count``).  The fault
+        injector and scrubbing models use this to act at exact points in
+        the dynamic stream; the fast engine falls back to the reference
+        loop around due hooks so firing points are engine-invariant."""
+        self._hooks.append((count, callback))
+        self._hooks.sort(key=lambda hook: hook[0])
+
+    def add_exact_window(self, start, end):
+        """Declare that instructions with dynamic indices in
+        ``[start, end)`` need exact per-cycle execution (the fast engine
+        single-steps them through the reference loop).  Harmless under
+        the reference engine, which is always exact."""
+        self._exact_windows.append((start, end))
+
+    def _check_hooks(self):
+        while (self._hooks
+               and self._hooks[0][0] <= self.cpu.stats.instructions):
+            _, callback = self._hooks.pop(0)
+            callback(self)
+
     # --- execution -------------------------------------------------------------------
 
     def step(self):
@@ -174,6 +214,8 @@ class Machine:
             return False
         self._check_triggers(pc)
         self._check_timed_triggers()
+        if self._hooks:
+            self._check_hooks()
         instruction = self.program.instruction_at(pc)
         if instruction is None:
             raise IllegalInstructionError(
@@ -204,18 +246,29 @@ class Machine:
             self._fired_triggers.add(key)
             self._perform(action)
 
+    def _fast_engine(self):
+        if self._fastpath is None:
+            from .fastpath import FastEngine
+            self._fastpath = FastEngine(self)
+        return self._fastpath
+
     def run(self, max_instructions=DEFAULT_INSTRUCTION_LIMIT,
             apply_schedule=True):
         """Run to HALT / main-return; returns a :class:`RunResult`."""
+        from .fastpath import resolve_engine
+        engine = resolve_engine(self.engine)
         if apply_schedule:
             self.apply_static_schedule()
         cpu = self.cpu
-        while not cpu.halted:
-            if cpu.stats.instructions >= max_instructions:
-                raise ExecutionLimitExceeded(
-                    "exceeded %d instructions at pc=0x%08x"
-                    % (max_instructions, cpu.state.pc))
-            self.step()
+        if engine == "reference":
+            while not cpu.halted:
+                if cpu.stats.instructions >= max_instructions:
+                    raise ExecutionLimitExceeded(
+                        "exceeded %d instructions at pc=0x%08x"
+                        % (max_instructions, cpu.state.pc))
+                self.step()
+        else:
+            self._fast_engine().run(max_instructions)
         return RunResult(
             instructions=cpu.stats.instructions,
             cycles=cpu.stats.cycles,

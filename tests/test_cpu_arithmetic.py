@@ -158,3 +158,121 @@ def test_mul_costs_more_cycles_than_add():
     add = run("mov r0, #1\nadd r1, r0, r0")
     mul = run("mov r0, #1\nmul r1, r0, r0")
     assert mul.cpu.stats.cycles > add.cpu.stats.cycles
+
+
+# --- per-ALU-class condition-flag semantics ----------------------------------
+#
+# One explicit test per writeback/flag corner of the data-processing
+# handlers, so the contract the fast engine's compiled closures must
+# reproduce is pinned in executable form, not just in the differential
+# fuzzer's statistics.
+
+
+def flags(machine):
+    state = machine.cpu.state
+    return (state.negative, state.zero, state.carry, state.overflow)
+
+
+def test_adds_carry_and_zero_on_unsigned_wrap():
+    machine = run("mvn r0, #0\nadds r1, r0, #1")
+    assert flags(machine) == (False, True, True, False)
+
+
+def test_adds_signed_min_plus_itself_sets_czv():
+    # 0x80000000 + 0x80000000: result 0, carry out, signed overflow,
+    # and N comes from bit 31 of the *masked* sum (the raw Python sum
+    # has bit 32 set instead).
+    machine = run("mov r0, #0x80000000\nadds r1, r0, r0")
+    assert register(machine, 1) == 0
+    assert flags(machine) == (False, True, True, True)
+
+
+def test_subs_carry_means_no_borrow():
+    no_borrow = run("mov r0, #5\nsubs r1, r0, #5")
+    assert flags(no_borrow) == (False, True, True, False)
+    borrow = run("mov r0, #3\nsubs r1, r0, #5")
+    assert flags(borrow) == (True, False, False, False)
+
+
+def test_subs_signed_overflow_at_int_min():
+    machine = run("mov r0, #0x80000000\nsubs r1, r0, #1")
+    assert register(machine, 1) == 0x7FFFFFFF
+    assert flags(machine) == (False, False, True, True)
+
+
+def test_rsbs_swaps_minuend_and_flags():
+    # rsb computes op2 - rn, and the borrow compares in that order too.
+    machine = run("mov r0, #5\nrsbs r1, r0, #3")
+    assert register(machine, 1) == 0xFFFFFFFE
+    assert flags(machine) == (True, False, False, False)
+
+
+def test_subs_same_register_uses_pre_writeback_operands():
+    machine = run("mov r0, #9\nsubs r0, r0, r0")
+    assert register(machine, 0) == 0
+    assert flags(machine) == (False, True, True, False)
+
+
+def test_movs_sets_nz_but_preserves_carry_and_overflow():
+    # cmp leaves C set; the move class only owns N and Z.
+    machine = run("mov r0, #5\ncmp r0, #5\nmovs r1, #0")
+    assert flags(machine) == (False, True, True, False)
+    machine = run("mov r0, #5\ncmp r0, #5\nmvns r1, #0")
+    assert flags(machine) == (True, False, True, False)
+
+
+def test_logic_s_sets_nz_but_preserves_carry_and_overflow():
+    machine = run("mov r0, #5\ncmp r0, #5\n"
+                  "mvn r1, #0\nands r2, r1, r1")
+    assert flags(machine) == (True, False, True, False)
+    machine = run("mov r0, #5\ncmp r0, #5\neors r1, r0, r0")
+    assert flags(machine) == (False, True, True, False)
+
+
+def test_muls_flags_on_wrapped_product():
+    # 0x10000 * 0x10000 wraps to 0: Z from the masked product.
+    machine = run("mov r0, #0x10000\nmuls r1, r0, r0")
+    assert register(machine, 1) == 0
+    assert flags(machine)[:2] == (False, True)
+    machine = run("mvn r0, #0\nmov r1, #1\nmuls r2, r0, r1")
+    assert flags(machine)[:2] == (True, False)
+
+
+def test_shift_amount_wraps_at_eight_bits():
+    # Register shift amounts are taken modulo 256: a count of 256 is a
+    # no-op shift, not a register-clearing one.
+    machine = run("mov r0, #0xA5\nmov r1, #256\n"
+                  "lsr r2, r0, r1\nlsl r3, r0, r1")
+    assert register(machine, 2) == 0xA5
+    assert register(machine, 3) == 0xA5
+
+
+def test_shifts_s_set_nz_on_masked_result():
+    # 0x80000000 << 1 drops out of the register: Z set, N clear.
+    machine = run("mov r0, #0x80000000\nlsls r1, r0, #1")
+    assert register(machine, 1) == 0
+    assert flags(machine)[:2] == (False, True)
+    machine = run("mvn r0, #0\nasrs r1, r0, #40")
+    assert register(machine, 1) == 0xFFFFFFFF
+    assert flags(machine)[:2] == (True, False)
+
+
+def test_cmn_detects_unsigned_carry():
+    machine = run("mvn r0, #0\ncmn r0, #1\nmovhs r1, #1\nmoveq r2, #1")
+    assert register(machine, 1) == 1
+    assert register(machine, 2) == 1
+    assert flags(machine) == (False, True, True, False)
+
+
+def test_tst_preserves_carry_and_overflow():
+    machine = run("mov r0, #5\ncmp r0, #5\nmov r1, #3\ntst r1, #2")
+    assert flags(machine) == (False, False, True, False)
+
+
+def test_failed_condition_leaves_flags_untouched():
+    machine = run("mov r0, #1\ncmp r0, #2\n"
+                  "addseq r1, r0, r0\nsubseq r2, r0, r0")
+    # cmp 1, 2: borrow -> N set, C clear; the eq-gated S-ops must not run.
+    assert flags(machine) == (True, False, False, False)
+    assert register(machine, 1) == 0
+    assert register(machine, 2) == 0
