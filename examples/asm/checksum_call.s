@@ -1,0 +1,40 @@
+        ; Byte-wise checksum through a helper function.
+        ;
+        ; Demonstrates the calling convention the analyzer assumes:
+        ; r0-r3 carry arguments, bl clobbers r0-r3 and r12, and the
+        ; callee returns through lr.  Lint-clean by construction.
+        .text
+        .entry main
+        .func main
+main:
+        ldr r0, =buffer
+        mov r1, #16             ; buffer length in bytes
+        bl checksum
+        ldr r4, =sum_result
+        str r0, [r4]
+        halt
+        .endfunc
+
+        ; r0 = base, r1 = length -> r0 = sum of bytes
+        .func checksum
+checksum:
+        mov r2, #0              ; index
+        mov r3, #0              ; running sum
+ck_loop:
+        cmp r2, r1
+        bge ck_done
+        ldrb r12, [r0, r2]
+        add r3, r3, r12
+        add r2, r2, #1
+        b ck_loop
+ck_done:
+        mov r0, r3
+        bx lr
+        .endfunc
+
+        .data
+buffer:
+        .byte 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+        .align 4
+sum_result:
+        .word 0

@@ -1,0 +1,33 @@
+        ; Dot product of two 8-element word vectors.
+        ;
+        ; A minimal, lint-clean example: one counted loop, aligned
+        ; word accesses, every conditional branch guarded by a flag
+        ; setter.  `repro lint examples/asm/dot_product.s` reports
+        ; zero findings.
+        .text
+        .entry main
+        .func main
+main:
+        ldr r9, =vec_a
+        ldr r10, =vec_b
+        mov r8, #0              ; byte offset
+        mov r7, #0              ; accumulator
+dp_loop:
+        ldr r0, [r9, r8]
+        ldr r1, [r10, r8]
+        mla r7, r0, r1, r7
+        add r8, r8, #4
+        cmp r8, #32             ; 8 words
+        blt dp_loop
+        ldr r4, =dot_result
+        str r7, [r4]
+        halt
+        .endfunc
+
+        .data
+vec_a:
+        .word 1, 2, 3, 4, 5, 6, 7, 8
+vec_b:
+        .word 8, 7, 6, 5, 4, 3, 2, 1
+dot_result:
+        .word 0

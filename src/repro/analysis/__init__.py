@@ -1,0 +1,32 @@
+"""Static analysis over assembled :class:`~repro.isa.program.Program`s.
+
+Layers, bottom to top:
+
+* :mod:`.cfg` — basic blocks, intra-function edges, call graph,
+  dominators, natural loops;
+* :mod:`.dataflow` — use/def sets, reaching flag-setters, liveness,
+  maybe-uninitialized registers, def-use chains;
+* :mod:`.values` — abstract constant/pointer propagation through the
+  16-register file and condition flags (interprocedural fixpoint);
+* :mod:`.loops` — trip-count inference for counted natural loops;
+* :mod:`.staticprofile` — the simulation-free profile estimator
+  (:class:`~repro.profile.bounds.StaticProfile` for MDA);
+* :mod:`.lint` — the ``repro lint`` rule catalog over all of the above.
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, FlowFunction, Loop, build_cfg
+from .lint import LINT_RULES, LintReport, lint_program, lint_source
+from .staticprofile import build_static_profile
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "FlowFunction",
+    "Loop",
+    "build_cfg",
+    "LINT_RULES",
+    "LintReport",
+    "lint_program",
+    "lint_source",
+    "build_static_profile",
+]

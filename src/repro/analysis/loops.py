@@ -1,0 +1,303 @@
+"""Trip-count inference for counted natural loops.
+
+The canonical pattern the inference recognizes::
+
+    loop:   ...
+            add  r0, r0, #4      ; single induction step in the loop
+            cmp  r0, #1024       ; in the same block as the guard branch
+            blt  loop            ; back-edge guard (or: bge exit_label)
+
+Requirements for a *usable guard*:
+
+* the guard block's terminator is a conditional ``b`` whose last
+  in-block flag-setter is a ``cmp`` of an induction register against a
+  constant (immediate, or a register constant-propagation proves);
+* the guard block belongs to this loop and to no deeper nested loop
+  (so it runs at most once per iteration);
+* either the taken edge is the back edge and the fallthrough leaves the
+  loop (continue-guard: it must be the only latch), or the taken edge
+  leaves the loop and the guard dominates every latch (exit-guard);
+* the induction register has exactly one unconditional
+  ``add/sub r, r, #imm`` definition inside the loop, outside any
+  nested loop, in a block dominating every latch;
+* the initial value is a constant at every loop entry edge.
+
+Trip counts are then evaluated by stepping the induction sequence with
+the CPU's exact 32-bit flag semantics (no closed form — wraparound and
+signed/unsigned conditions stay bit-accurate), capped at
+:data:`TRIP_SEARCH_CAP` iterations.  Loops with no usable guard get the
+sound bounds ``[1, None]`` and :data:`DEFAULT_TRIP_ESTIMATE` as the
+point estimate for the static profiler.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Condition, Mnemonic
+from .values import operand_value
+
+#: give up searching for the first exit iteration beyond this
+TRIP_SEARCH_CAP = 1 << 17
+#: point estimate for loops whose trip count could not be bounded
+DEFAULT_TRIP_ESTIMATE = 16
+
+_MASK = 0xFFFFFFFF
+
+_FLAG_SETTERS = (Mnemonic.CMP, Mnemonic.CMN, Mnemonic.TST)
+
+
+def _condition_true(condition, lhs, rhs):
+    """Evaluate ``condition`` against ``cmp lhs, rhs`` flags exactly."""
+    lhs &= _MASK
+    rhs &= _MASK
+    result = (lhs - rhs) & _MASK
+    negative = bool(result & 0x8000_0000)
+    zero = result == 0
+    carry = lhs >= rhs
+    overflow = bool(((lhs ^ rhs) & (lhs ^ result)) & 0x8000_0000)
+    if condition is Condition.EQ:
+        return zero
+    if condition is Condition.NE:
+        return not zero
+    if condition is Condition.LT:
+        return negative != overflow
+    if condition is Condition.LE:
+        return zero or negative != overflow
+    if condition is Condition.GT:
+        return not zero and negative == overflow
+    if condition is Condition.GE:
+        return negative == overflow
+    if condition is Condition.MI:
+        return negative
+    if condition is Condition.PL:
+        return not negative
+    if condition is Condition.HS:
+        return carry
+    if condition is Condition.LO:
+        return not carry
+    if condition is Condition.HI:
+        return carry and not zero
+    if condition is Condition.LS:
+        return not carry or zero
+    return True  # AL
+
+
+def innermost_loop_of(function, block_start):
+    loops = function.loops_containing(block_start)
+    return loops[-1] if loops else None
+
+
+def loop_exit_edges(cfg, loop):
+    """Edges (block, successor) leaving the loop body."""
+    edges = []
+    for start in sorted(loop.body):
+        for successor in cfg.blocks[start].successors:
+            if successor not in loop.body:
+                edges.append((start, successor))
+    return edges
+
+
+def loop_has_dynamic_exit(cfg, loop):
+    """True when the loop body can terminate without an exit edge."""
+    from .cfg import is_return
+    for start in loop.body:
+        for _, instruction in cfg.blocks[start].instructions:
+            if instruction.mnemonic is Mnemonic.HALT or (
+                    is_return(instruction)):
+                return True
+        if cfg.blocks[start].falls_off_end:
+            return True
+    return False
+
+
+def _last_flag_setter(block):
+    """The last in-block flag-setting instruction before the terminator."""
+    found = None
+    for address, instruction in block.instructions[:-1]:
+        if instruction.set_flags:
+            found = (address, instruction)
+    return found
+
+
+def _induction_step(cfg, function, loop, register):
+    """The loop's single ``add/sub register, register, #imm`` def."""
+    step = None
+    for start in sorted(loop.body):
+        for address, instruction in cfg.blocks[start].instructions:
+            from .dataflow import use_def
+            if register not in use_def(instruction).defs:
+                continue
+            usable = (
+                instruction.mnemonic in (Mnemonic.ADD, Mnemonic.SUB)
+                and instruction.condition is Condition.AL
+                and instruction.operands[0].value == register
+                and instruction.operands[1].is_register
+                and instruction.operands[1].value == register
+                and instruction.operands[2].is_immediate
+                and innermost_loop_of(function, start) is loop
+                and all(function.dominates(start, latch)
+                        for latch in loop.latches))
+            if not usable or step is not None:
+                return None
+            delta = instruction.operands[2].value
+            if instruction.mnemonic is Mnemonic.SUB:
+                delta = -delta
+            if delta == 0:
+                return None
+            step = (start, address, delta)
+    return step
+
+
+def _initial_value(cfg, function, constprop, loop, register):
+    """The induction register's constant value at loop entry, or None."""
+    value = None
+    domain = constprop.domain
+    entry_blocks = [p for p in cfg.blocks[loop.header].predecessors
+                    if p in function.blocks and p not in loop.body]
+    if not entry_blocks:
+        return None
+    for predecessor in entry_blocks:
+        state = constprop.block_in.get((function.entry, predecessor))
+        if state is None:
+            return None
+        from .values import transfer
+        for _, instruction in cfg.blocks[predecessor].instructions:
+            state = transfer(domain, state, instruction)
+        value = domain.meet(value, state[register])
+    if value is not None and value.is_const:
+        return value.const
+    return None
+
+
+def _guard_bound(cfg, function, constprop, loop, guard_start):
+    """Header-execution bound from one guard block, or None."""
+    block = cfg.blocks[guard_start]
+    terminator = block.terminator
+    if terminator.mnemonic is not Mnemonic.B or (
+            terminator.condition is Condition.AL):
+        return None
+    if innermost_loop_of(function, guard_start) is not loop:
+        return None
+    setter = _last_flag_setter(block)
+    if setter is None or setter[1].mnemonic is not Mnemonic.CMP:
+        return None
+    cmp_address, cmp_instruction = setter
+    lhs = cmp_instruction.operands[0]
+    if not lhs.is_register:
+        return None
+    register = lhs.value
+    state = constprop.state_at(function, guard_start, cmp_address)
+    if state is None:
+        return None
+    rhs_value = operand_value(state, cmp_instruction.operands[1])
+    if not rhs_value.is_const:
+        return None
+    bound = rhs_value.const
+
+    taken = terminator.operands[0].value
+    fallthrough = block.end
+    if taken == loop.header and fallthrough not in loop.body:
+        # continue-guard: loop runs while the condition holds
+        if loop.latches != (guard_start,):
+            return None
+        exit_when_true = False
+    elif taken not in loop.body and fallthrough in loop.body:
+        # exit-guard at the top or middle of the body
+        if not all(function.dominates(guard_start, latch)
+                   for latch in loop.latches):
+            return None
+        exit_when_true = True
+    else:
+        return None
+
+    step = _induction_step(cfg, function, loop, register)
+    if step is None:
+        return None
+    step_block, step_address, delta = step
+    init = _initial_value(cfg, function, constprop, loop, register)
+    if init is None:
+        return None
+
+    # Does the induction step run before the cmp within one iteration?
+    if step_block == guard_start:
+        orders = (step_address < cmp_address,)
+    elif function.dominates(step_block, guard_start) and (
+            guard_start != loop.header):
+        orders = (True,)
+    elif guard_start == loop.header and step_block != loop.header:
+        orders = (False,)
+    else:
+        orders = (True, False)  # ambiguous: widen over both
+
+    bounds = []
+    for stepped_first in orders:
+        first = init + (delta if stepped_first else 0)
+        count = _first_flip(terminator.condition, first, delta, bound,
+                            exit_when_true)
+        if count is None:
+            return None
+        bounds.append(count)
+    return min(bounds), max(bounds)
+
+
+def _first_flip(condition, first, delta, bound, exit_when_true):
+    """First header execution at which the guard stops continuing."""
+    value = first
+    for i in range(1, TRIP_SEARCH_CAP + 1):
+        taken = _condition_true(condition, value, bound)
+        if exit_when_true and taken:
+            return i
+        if not exit_when_true and not taken:
+            return i
+        value = (value + delta) & _MASK
+    return None
+
+
+def _exits_rejoin_a_loop(function, exit_edges):
+    """True when some exit edge lands inside another loop's body."""
+    for _, successor in exit_edges:
+        for loop in function.loops:
+            if successor in loop.body:
+                return True
+    return False
+
+
+def infer_trip_counts(cfg, function, constprop):
+    """Fill ``trip_lo``/``trip_hi``/``trip_estimate`` on every loop."""
+    for loop in function.loops:
+        loop.trip_lo, loop.trip_hi = 1, None
+        if function.irreducible:
+            loop.trip_estimate = DEFAULT_TRIP_ESTIMATE
+            continue
+        exit_edges = loop_exit_edges(cfg, loop)
+        guard_bounds = {}
+        for guard_start in sorted(loop.body):
+            result = _guard_bound(cfg, function, constprop, loop,
+                                  guard_start)
+            if result is not None:
+                guard_bounds[guard_start] = result
+        if guard_bounds:
+            loop.trip_hi = min(hi for _, hi in guard_bounds.values())
+            # The bound is exact when a deterministic guard is the only
+            # way out of the loop and its two orderings agree.
+            if (len(exit_edges) == 1
+                    and exit_edges[0][0] in guard_bounds
+                    and not loop_has_dynamic_exit(cfg, loop)):
+                lo, hi = guard_bounds[exit_edges[0][0]]
+                loop.trip_lo = max(1, lo)
+            else:
+                loop.trip_lo = 1
+        if loop.trip_hi is None:
+            loop.trip_estimate = DEFAULT_TRIP_ESTIMATE
+        elif loop.trip_lo == loop.trip_hi:
+            loop.trip_estimate = loop.trip_hi
+        elif _exits_rejoin_a_loop(function, exit_edges):
+            # A data-dependent exit that lands back inside an outer loop
+            # is a search hit (string match, early break to the next
+            # outer iteration) — those fire often, so expect the middle.
+            loop.trip_estimate = max(
+                (loop.trip_lo + loop.trip_hi) // 2, 1)
+        else:
+            # A data-dependent exit straight out of the loop nest is a
+            # termination check (convergence, sentinel) — those rarely
+            # fire, so expect the loop to run its full bound.
+            loop.trip_estimate = loop.trip_hi

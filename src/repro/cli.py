@@ -8,6 +8,7 @@ Subcommands::
     ftspm run WORKLOAD [--structure S]         full simulation + metrics
     ftspm inject WORKLOAD [--trials N]         Monte-Carlo fault injection
     ftspm campaign WORKLOAD [--jobs N]         parallel, resumable campaign
+    ftspm lint TARGET [...]                    static diagnostics (CI gate)
     ftspm disasm WORKLOAD                      disassemble a workload
     ftspm list                                 available workloads/experiments
 
@@ -86,16 +87,49 @@ def _cmd_report(args):
 
 
 def _cmd_profile(args):
-    _, profile = _resolve_workload(
-        args.workload, args.array_words, args.outer_iterations, args.scale)
+    _, profile = get_context().resolve_workload(
+        args.workload, array_words=args.array_words,
+        outer_iterations=args.outer_iterations, scale=args.scale,
+        profile_flavor=args.profile)
     print(format_profile_table(
-        profile, title="Profile of %s" % args.workload))
+        profile, title="Profile of %s (%s)"
+        % (args.workload, getattr(profile, "flavor", "dynamic"))))
+    assumptions = getattr(profile, "assumptions", None)
+    if assumptions:
+        print()
+        for assumption in assumptions:
+            print("  assumed: %s" % assumption)
     return 0
 
 
+def _cmd_lint(args):
+    from .analysis import lint_program, lint_source
+
+    worst_exit = 0
+    for target in args.targets:
+        if target.endswith(".s") or os.sep in target:
+            with open(target) as handle:
+                report = lint_source(handle.read(), name=target)
+        else:
+            program, _ = _resolve_workload(target)
+            if program is None:
+                raise ReproError(
+                    "workload %r has no program to lint" % target)
+            report = lint_program(program, source=target)
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.to_text())
+        if report.has_errors:
+            worst_exit = 1
+    return worst_exit
+
+
 def _cmd_map(args):
-    _, profile = _resolve_workload(
-        args.workload, args.array_words, args.outer_iterations, args.scale)
+    _, profile = get_context().resolve_workload(
+        args.workload, array_words=args.array_words,
+        outer_iterations=args.outer_iterations, scale=args.scale,
+        profile_flavor=args.profile)
     config = preset(args.structure)
     if args.structure == "ftspm":
         mode = OptimizationMode(args.mode)
@@ -103,8 +137,9 @@ def _cmd_map(args):
             profile, "ftspm", config=config,
             thresholds=thresholds_for_mode(mode))
         print(plan.format_table(
-            profile, title="MDA placement (%s, mode=%s)"
-            % (args.workload, mode.value)))
+            profile, title="MDA placement (%s, mode=%s, %s profile)"
+            % (args.workload, mode.value,
+               getattr(profile, "flavor", "dynamic"))))
         print()
         for decision in result.decisions:
             print("  step%d %-14s %-18s %s" % (
@@ -295,6 +330,14 @@ def _add_engine_argument(parser):
                              "speed differs)")
 
 
+def _add_profile_flavor_argument(parser):
+    parser.add_argument("--profile", default="dynamic",
+                        choices=("dynamic", "static"),
+                        help="profile source: measure by simulation "
+                             "(dynamic) or estimate with the static "
+                             "analyzer (static, simulation-free)")
+
+
 def _add_workload_arguments(parser):
     parser.add_argument("workload")
     parser.add_argument("--array-words", type=int, default=256,
@@ -350,10 +393,22 @@ def build_parser():
 
     p_profile = sub.add_parser("profile", help="profile a workload")
     _add_workload_arguments(p_profile)
+    _add_profile_flavor_argument(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_lint = sub.add_parser(
+        "lint", help="static diagnostics over workloads or .s files")
+    p_lint.add_argument("targets", nargs="+", metavar="TARGET",
+                        help="workload spec ('case', 'kernel:NAME') or "
+                             "an assembly file path")
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json"),
+                        help="finding output format")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_map = sub.add_parser("map", help="compute a mapping plan")
     _add_workload_arguments(p_map)
+    _add_profile_flavor_argument(p_map)
     p_map.add_argument("--structure", default="ftspm",
                        choices=sorted(STRUCTURES))
     p_map.add_argument("--mode", default="balanced",

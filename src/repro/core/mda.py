@@ -53,6 +53,9 @@ class MdaResult:
     write_threshold: float = 0.0
     perf_overhead: float = 0.0
     energy_overhead: float = 0.0
+    #: which profile drove the mapping: "dynamic" (measured), "static"
+    #: (repro.analysis estimate), "trace", or "synthetic"
+    profile_flavor: str = "dynamic"
 
     def log(self, step, block, action, detail=""):
         self.decisions.append(MdaDecision(step, block, action, detail))
@@ -129,7 +132,9 @@ class MappingDeterminer:
     def map(self, profile):
         """Run Algorithm 1 on a profile; returns an :class:`MdaResult`."""
         plan = MappingPlan.empty(self.config)
-        result = MdaResult(plan=plan)
+        result = MdaResult(plan=plan,
+                           profile_flavor=getattr(profile, "flavor",
+                                                  "dynamic"))
         cost_model = self._cost_model_factory(profile)
         pool = []  # block names evicted from (or never admitted to) STT
 

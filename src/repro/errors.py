@@ -16,21 +16,44 @@ class ReproError(Exception):
 class AssemblyError(ReproError):
     """Raised when assembly source cannot be assembled.
 
-    Carries the source line number (1-based) when known.
+    Carries the source line number (1-based) when known, plus a stable
+    diagnostic rule id (``asm.*``) so tooling — ``repro lint`` and CI —
+    can consume assembler failures in the same structured-finding shape
+    as analyzer findings (see :meth:`to_finding`).
     """
 
-    def __init__(self, message, line=None, source_line=None):
+    #: default rule id; specific raise sites pass ``rule=``
+    default_rule = "asm.syntax"
+
+    def __init__(self, message, line=None, source_line=None, rule=None):
         self.line = line
         self.source_line = source_line
+        self.rule = rule or self.default_rule
+        self.bare_message = message
         if line is not None:
             message = "line %d: %s" % (line, message)
             if source_line is not None:
                 message = "%s\n    %s" % (message, source_line.strip())
         super().__init__(message)
 
+    def to_finding(self, source=""):
+        """The error as a :class:`~repro.diagnostics.Finding`."""
+        from .diagnostics import Finding, Severity, SourceSpan
+        span = SourceSpan.line(self.line) if self.line is not None else None
+        return Finding(
+            rule=self.rule,
+            severity=Severity.ERROR,
+            message=self.bare_message,
+            span=span,
+            source=source,
+            snippet=(self.source_line or "").strip(),
+        )
+
 
 class EncodingError(AssemblyError):
     """Raised when an instruction cannot be encoded (bad operands, range)."""
+
+    default_rule = "asm.bad-operand"
 
 
 class SimulationError(ReproError):

@@ -29,12 +29,18 @@ class AceTracker(EventSubscriber):
 
     A read ends the open vulnerability window and banks the gap since
     the previous touch; a write (re)opens the window without banking.
+    At end-of-simulation, :meth:`finish` closes windows still opened by
+    a write: data written and never read back survives in memory until
+    halt, so a strike anywhere in that tail interval corrupts
+    architecturally visible state.  Without the closure the last write
+    before halt would be silently dropped from :meth:`ace_of`.
     """
 
     def __init__(self, resolver=None):
         self.resolver = resolver
         self.ace_cycles = {}  # block name -> accumulated ACE cycles
         self._last_touch = {}  # block name -> cycle of the latest touch
+        self._open_write = {}  # block name -> last touch was a write
 
     def on_access(self, event: AccessEvent):
         if self.resolver is None:
@@ -50,6 +56,23 @@ class AceTracker(EventSubscriber):
             self.ace_cycles[name] = (
                 self.ace_cycles.get(name, 0) + now - last)
         self._last_touch[name] = now
+        self._open_write[name] = is_write
+
+    def finish(self, now):
+        """Close write-opened windows at end-of-simulation cycle ``now``.
+
+        Idempotent: closed windows are marked so a second ``finish``
+        (or a later read replay) does not double-count the tail.
+        """
+        for name, was_write in self._open_write.items():
+            if not was_write:
+                continue
+            last = self._last_touch.get(name)
+            if last is not None and now > last:
+                self.ace_cycles[name] = (
+                    self.ace_cycles.get(name, 0) + now - last)
+                self._last_touch[name] = now
+            self._open_write[name] = False
 
     def ace_of(self, name):
         return self.ace_cycles.get(name, 0)

@@ -118,7 +118,8 @@ def _parse_int(text, line_no, source):
             value = int(text, 10)
     except ValueError:
         raise AssemblyError("invalid integer literal %r" % text,
-                            line=line_no, source_line=source) from None
+                            line=line_no, source_line=source,
+                            rule="asm.bad-literal") from None
     return -value if negative else value
 
 
@@ -207,7 +208,7 @@ class _Assembler:
         if self.open_func is not None:
             raise AssemblyError(
                 "function %r is missing .endfunc" % self.open_func.name,
-                line=self.open_func.line_no)
+                line=self.open_func.line_no, rule="asm.structure")
         return self._link()
 
     def _consume_line(self, line, line_no, raw):
@@ -226,7 +227,8 @@ class _Assembler:
         if name in self.symbols or any(
                 label.name == name for label in self.data_labels):
             raise AssemblyError("duplicate label %r" % name,
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.duplicate-label")
         if self.section is Section.TEXT:
             self.symbols[name] = self.text_cursor
             self.pending_code_label = name
@@ -242,7 +244,8 @@ class _Assembler:
         handler = getattr(self, "_dir_" + directive[1:], None)
         if handler is None:
             raise AssemblyError("unknown directive %r" % directive,
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.unknown-directive")
         handler(argument, line_no, raw)
 
     def _dir_text(self, argument, line_no, raw):
@@ -257,23 +260,27 @@ class _Assembler:
     def _dir_global(self, argument, line_no, raw):
         if not _SYMBOL_RE.match(argument):
             raise AssemblyError(".global needs a symbol name",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         # Visibility is not modelled; .global is accepted for familiarity.
 
     def _dir_entry(self, argument, line_no, raw):
         if not _SYMBOL_RE.match(argument):
             raise AssemblyError(".entry needs a symbol name",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         self.entry_symbol = argument
 
     def _dir_func(self, argument, line_no, raw):
         if self.section is not Section.TEXT:
             raise AssemblyError(".func is only valid in .text",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         if self.open_func is not None:
             raise AssemblyError(
                 "nested .func (%r is still open)" % self.open_func.name,
-                line=line_no, source_line=raw)
+                line=line_no, source_line=raw,
+                                rule="asm.structure")
         if not _SYMBOL_RE.match(argument):
             raise AssemblyError(".func needs a function name",
                                 line=line_no, source_line=raw)
@@ -282,25 +289,29 @@ class _Assembler:
     def _dir_endfunc(self, argument, line_no, raw):
         if self.open_func is None:
             raise AssemblyError(".endfunc without .func",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         func = self.open_func
         self.open_func = None
         if self.text_cursor == func.start:
             raise AssemblyError("function %r has no instructions" % func.name,
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         self.code_blocks.append(
             CodeBlock(func.name, func.start, self.text_cursor))
 
     def _require_data_section(self, directive, line_no, raw):
         if self.section is Section.TEXT:
             raise AssemblyError("%s is only valid in .data/.bss" % directive,
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
 
     def _dir_word(self, argument, line_no, raw):
         self._require_data_section(".word", line_no, raw)
         if self.section is Section.BSS:
             raise AssemblyError(".word is not allowed in .bss",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         self._dir_align("4", line_no, raw)
         for item in _split_operands(argument):
             value = _parse_int(item, line_no, raw) & 0xFFFFFFFF
@@ -324,7 +335,8 @@ class _Assembler:
         fill = _parse_int(parts[1], line_no, raw) & 0xFF if len(parts) > 1 else 0
         if size < 0:
             raise AssemblyError(".space size must be non-negative",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         self.data += bytes([fill]) * size
 
     def _dir_asciz(self, argument, line_no, raw):
@@ -340,7 +352,8 @@ class _Assembler:
         if not (argument.startswith('"') and argument.endswith('"')
                 and len(argument) >= 2):
             raise AssemblyError("string directives need a quoted string",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         body = argument[1:-1]
         decoded = body.encode("ascii").decode("unicode_escape")
         self.data += decoded.encode("latin-1")
@@ -349,7 +362,8 @@ class _Assembler:
         boundary = _parse_int(argument or "4", line_no, raw)
         if boundary <= 0 or boundary & (boundary - 1):
             raise AssemblyError(".align needs a power of two",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         if self.section is Section.TEXT:
             return  # instructions are always 4-byte aligned
         while len(self.data) % boundary:
@@ -360,7 +374,8 @@ class _Assembler:
     def _instruction_line(self, line, line_no, raw):
         if self.section is not Section.TEXT:
             raise AssemblyError("instructions are only valid in .text",
-                                line=line_no, source_line=raw)
+                                line=line_no, source_line=raw,
+                                rule="asm.structure")
         parts = line.split(None, 1)
         token = parts[0].lower()
         operand_text = parts[1] if len(parts) > 1 else ""
@@ -410,7 +425,8 @@ class _Assembler:
                 set_flags = True
             return mnemonic, condition, set_flags
         raise AssemblyError("unknown instruction %r" % token,
-                            line=line_no, source_line=raw)
+                            line=line_no, source_line=raw,
+                            rule="asm.unknown-instruction")
 
     # --- pass 2: linking ------------------------------------------------------
 
@@ -440,7 +456,8 @@ class _Assembler:
         if entry_name is not None:
             if entry_name not in symbols:
                 raise AssemblyError("entry symbol %r is undefined"
-                                    % entry_name)
+                                    % entry_name,
+                                    rule="asm.undefined-label")
             entry = symbols[entry_name]
 
         program = Program(
@@ -475,6 +492,7 @@ class _Assembler:
             set_flags=pending.set_flags,
             source_line=pending.line_no,
             label=pending.label,
+            source_text=pending.source,
         )
 
     def _parse_operand(self, text, pending, symbols):
@@ -512,7 +530,8 @@ class _Assembler:
             if _SYMBOL_RE.match(text):
                 if text not in symbols:
                     raise EncodingError("undefined label %r" % text,
-                                        line=line_no, source_line=source)
+                                        line=line_no, source_line=source,
+                                        rule="asm.undefined-label")
                 return [imm(symbols[text])]
         if _SYMBOL_RE.match(text) or _SYMBOL_OFFSET_RE.match(text):
             return [imm(self._resolve_value(text, symbols, line_no, source))]
@@ -524,14 +543,16 @@ class _Assembler:
         if _SYMBOL_RE.match(text) and not re.match(r"^-?\d", text):
             if text not in symbols:
                 raise EncodingError("undefined symbol %r" % text,
-                                    line=line_no, source_line=source)
+                                    line=line_no, source_line=source,
+                                    rule="asm.undefined-label")
             return symbols[text]
         match = _SYMBOL_OFFSET_RE.match(text)
         if match:
             name, sign, offset_text = match.groups()
             if name not in symbols:
                 raise EncodingError("undefined symbol %r" % name,
-                                    line=line_no, source_line=source)
+                                    line=line_no, source_line=source,
+                                    rule="asm.undefined-label")
             offset = _parse_int(offset_text, line_no, source)
             return symbols[name] + (offset if sign == "+" else -offset)
         return _parse_int(text, line_no, source)

@@ -145,6 +145,18 @@ class Instruction:
     set_flags: bool = False
     source_line: int = 0
     label: str = field(default="", compare=False)
+    #: the raw source text the instruction was assembled from (excluded
+    #: from equality, like ``label``) — lets diagnostics quote the
+    #: offending line without re-reading the source file
+    source_text: str = field(default="", compare=False)
+
+    @property
+    def span(self):
+        """The instruction's source span, or None when synthesized."""
+        if self.source_line <= 0:
+            return None
+        from ..diagnostics import SourceSpan
+        return SourceSpan.line(self.source_line)
 
     @property
     def is_branch(self):

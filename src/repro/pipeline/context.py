@@ -193,22 +193,57 @@ class EvaluationContext:
 
         return self.artifact("profile", parts, compute)
 
+    def static_profile_of(self, program):
+        """Analyze a program without running it — one analysis per key.
+
+        The result is a :class:`~repro.profile.bounds.StaticProfile`
+        (``flavor == "static"``): the same shape as a measured profile,
+        so MDA and the evaluators consume it unchanged.
+        """
+        from ..analysis import build_static_profile
+
+        parts = (self.program_key(program),)
+        return self.artifact("static-profile", parts,
+                             lambda: build_static_profile(program))
+
+    def lint_of(self, program):
+        """Lint diagnostics for a program — one analysis per key."""
+        from ..analysis import lint_program
+
+        parts = (self.program_key(program),)
+        return self.artifact("lint", parts,
+                             lambda: lint_program(program))
+
     def resolve_workload(self, spec, array_words=256, outer_iterations=4,
-                         scale=1):
-        """CLI workload spec -> ``(program_or_None, profile)``."""
+                         scale=1, profile_flavor="dynamic"):
+        """CLI workload spec -> ``(program_or_None, profile)``.
+
+        ``profile_flavor="static"`` swaps the measured profile for the
+        static analyzer's estimate (synthetic workloads have no program
+        to analyze, so they always keep their modelled profile).
+        """
         from ..workloads.kernels import kernel_names
         from ..workloads.synthetic import mibench_names
 
         if spec == "case":
-            return self.case_study(array_words, outer_iterations)
-        if spec.startswith("kernel:"):
+            program, profile = self.case_study(array_words,
+                                               outer_iterations)
+        elif spec.startswith("kernel:"):
             build = self.kernel_build(spec.split(":", 1)[1], scale=scale)
-            return build.program, self.profile_of(build.program)
-        if spec in mibench_names():
+            program, profile = build.program, None
+        elif spec in mibench_names():
             return None, self.synthetic_profile(spec)
-        raise ReproError(
-            "unknown workload %r (try 'case', 'kernel:<%s>', or one of %s)"
-            % (spec, "|".join(kernel_names()), ", ".join(mibench_names())))
+        else:
+            raise ReproError(
+                "unknown workload %r (try 'case', 'kernel:<%s>', or one "
+                "of %s)"
+                % (spec, "|".join(kernel_names()),
+                   ", ".join(mibench_names())))
+        if profile_flavor == "static":
+            return program, self.static_profile_of(program)
+        if profile is None:
+            profile = self.profile_of(program)
+        return program, profile
 
     # --- planning / analytic evaluation -------------------------------------
 

@@ -21,7 +21,7 @@ import json
 from dataclasses import asdict, is_dataclass
 from enum import Enum
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def canonical_json(payload):
@@ -104,6 +104,7 @@ def profile_fingerprint(profile):
     """
     return digest({
         "source_name": profile.source_name,
+        "flavor": getattr(profile, "flavor", "dynamic"),
         "total_cycles": profile.total_cycles,
         "total_instructions": profile.total_instructions,
         "blocks": [

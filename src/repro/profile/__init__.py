@@ -14,6 +14,7 @@ profiling platform and returns a :class:`Profile`.
 """
 
 from .blocks import BlockKind, ProgramBlock, enumerate_blocks, STACK_BLOCK_NAME
+from .bounds import BlockAccessBounds, CountBounds, StaticProfile
 from .profiler import BlockStats, Profile, Profiler, profile_program
 from .report import format_profile_table
 from .trace_profile import profile_from_trace
@@ -23,9 +24,12 @@ __all__ = [
     "ProgramBlock",
     "enumerate_blocks",
     "STACK_BLOCK_NAME",
+    "BlockAccessBounds",
     "BlockStats",
+    "CountBounds",
     "Profile",
     "Profiler",
+    "StaticProfile",
     "profile_program",
     "profile_from_trace",
     "format_profile_table",

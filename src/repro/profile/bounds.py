@@ -1,0 +1,103 @@
+"""Interval arithmetic and the static profile dataclasses.
+
+The static analyzer cannot always pin a count to one number (data
+dependent loops, recursion), so every quantity it derives is a
+:class:`CountBounds` — a sound ``[lo, hi]`` interval (``hi = None``
+means unbounded) — plus a point estimate used where the mapping
+algorithm needs a single value.  :class:`StaticProfile` extends the
+dynamic :class:`~repro.profile.profiler.Profile` with those bounds, so
+MDA and every report path consume it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .profiler import Profile
+
+
+@dataclass(frozen=True)
+class CountBounds:
+    """A sound inclusive interval; ``hi=None`` means unbounded above."""
+
+    lo: int = 0
+    hi: int = 0
+
+    @classmethod
+    def exact(cls, value):
+        return cls(value, value)
+
+    @classmethod
+    def unbounded(cls, lo=0):
+        return cls(lo, None)
+
+    @property
+    def is_exact(self):
+        return self.hi is not None and self.lo == self.hi
+
+    def contains(self, value):
+        return self.lo <= value and (self.hi is None or value <= self.hi)
+
+    def __add__(self, other):
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi + other.hi)
+        return CountBounds(self.lo + other.lo, hi)
+
+    def __mul__(self, other):
+        hi = (None if self.hi is None or other.hi is None
+              else self.hi * other.hi)
+        return CountBounds(self.lo * other.lo, hi)
+
+    def scaled(self, factor):
+        hi = None if self.hi is None else self.hi * factor
+        return CountBounds(self.lo * factor, hi)
+
+    def widen_lo(self, lo=0):
+        """Drop the lower bound to ``lo`` (conditional execution)."""
+        return CountBounds(min(self.lo, lo), self.hi)
+
+    def union(self, other):
+        hi = (None if self.hi is None or other.hi is None
+              else max(self.hi, other.hi))
+        return CountBounds(min(self.lo, other.lo), hi)
+
+    def __str__(self):
+        if self.is_exact:
+            return str(self.lo)
+        return "[%d, %s]" % (self.lo,
+                             "inf" if self.hi is None else self.hi)
+
+
+ZERO = CountBounds(0, 0)
+ONE = CountBounds(1, 1)
+
+
+@dataclass
+class BlockAccessBounds:
+    """Sound access-count and ACE-interval bounds for one block."""
+
+    reads: CountBounds = ZERO
+    writes: CountBounds = ZERO
+    ace_cycles: CountBounds = CountBounds(0, None)
+
+    @property
+    def accesses(self):
+        return self.reads + self.writes
+
+
+@dataclass
+class StaticProfile(Profile):
+    """A profile derived without simulation (``flavor == "static"``).
+
+    ``blocks`` holds point-estimate :class:`BlockStats` (what MDA
+    consumes); ``bounds`` holds the sound intervals per block name; and
+    ``assumptions`` lists every place the analyzer had to guess (for
+    reports and for deciding when to fall back to dynamic profiling).
+    """
+
+    bounds: dict = field(default_factory=dict)  # name -> BlockAccessBounds
+    assumptions: list = field(default_factory=list)
+    flavor: str = "static"
+
+    def bounds_of(self, name):
+        return self.bounds.get(name, BlockAccessBounds())

@@ -122,6 +122,11 @@ class Profile:
     total_cycles: int = 0
     total_instructions: int = 0
     source_name: str = ""
+    #: provenance of the numbers: "dynamic" (simulation), "static"
+    #: (repro.analysis estimator), "trace", or "synthetic".  MDA treats
+    #: every flavor identically; pipeline cache keys include it so a
+    #: static estimate never aliases a measured profile.
+    flavor: str = "dynamic"
 
     def get(self, name):
         try:
@@ -262,6 +267,9 @@ class Profiler(EventSubscriber):
         self._current_data = None
         self.detach()
         self._shrink_stack_block()
+        # Close ACE windows still opened by a write: the last stored
+        # value stays architecturally live until halt.
+        self._ace.finish(now)
         for name, cycles in self._ace.ace_cycles.items():
             self._stats[name].ace_cycles = cycles
         return Profile(

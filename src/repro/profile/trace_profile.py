@@ -80,6 +80,7 @@ def profile_from_trace(trace, program, include_stack=True):
         total_cycles=len(trace),  # record-index time base
         total_instructions=fetches,
         source_name=trace.name,
+        flavor="trace",
     )
 
 

@@ -105,6 +105,7 @@ class SyntheticBenchmark:
             total_cycles=total_cycles,
             total_instructions=self.total_instructions,
             source_name=self.name,
+            flavor="synthetic",
         )
 
     def write_skew_for(self, block_name):

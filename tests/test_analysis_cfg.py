@@ -1,0 +1,272 @@
+"""CFG construction, dominators, loops, and dataflow facts.
+
+These exercise :mod:`repro.analysis` on small hand-written programs
+where every block boundary, dominator set, and trip count can be
+checked by eye.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import build_cfg
+from repro.analysis.dataflow import FLAGS, analyze_function, use_def
+from repro.analysis.loops import infer_trip_counts, innermost_loop_of
+from repro.analysis.values import ConstantPropagation
+from repro.isa import assemble
+
+
+def cfg_of(source):
+    return build_cfg(assemble(source))
+
+
+def cfg_with_trip_counts(source):
+    cfg = cfg_of(source)
+    constprop = ConstantPropagation(cfg)
+    for function in cfg.functions.values():
+        infer_trip_counts(cfg, function, constprop)
+    return cfg
+
+
+COUNTED_LOOP = """
+        .text
+        .entry main
+        .func main
+main:
+        mov r0, #0
+        mov r1, #0
+loop:
+        add r1, r1, r0
+        add r0, r0, #1
+        cmp r0, #10
+        blt loop
+        halt
+        .endfunc
+"""
+
+
+def test_blocks_and_edges_of_counted_loop():
+    cfg = cfg_of(COUNTED_LOOP)
+    function = cfg.functions[cfg.entry]
+    assert function.name == "main"
+    # entry block (2 movs), loop body (4 instructions), halt block
+    starts = list(function.blocks)
+    assert len(starts) == 3
+    entry, loop, exit_block = (cfg.blocks[s] for s in starts)
+    assert len(entry) == 2
+    assert len(loop) == 4
+    assert len(exit_block) == 1
+    assert entry.successors == [loop.start]
+    assert sorted(loop.successors) == sorted([loop.start, exit_block.start])
+    assert exit_block.successors == []
+    assert loop.predecessors and entry.start in loop.predecessors
+
+
+def test_dominators_of_counted_loop():
+    cfg = cfg_of(COUNTED_LOOP)
+    function = cfg.functions[cfg.entry]
+    entry, loop, exit_block = function.blocks
+    assert function.dominates(entry, loop)
+    assert function.dominates(entry, exit_block)
+    assert function.dominates(loop, exit_block)
+    assert not function.dominates(exit_block, loop)
+    # every block dominates itself
+    for start in function.blocks:
+        assert start in function.dominators[start]
+
+
+def test_natural_loop_and_exact_trip_count():
+    cfg = cfg_with_trip_counts(COUNTED_LOOP)
+    function = cfg.functions[cfg.entry]
+    assert len(function.loops) == 1
+    loop = function.loops[0]
+    header = cfg.blocks[loop.header]
+    assert header.start in loop.body
+    assert loop.latches == (loop.header,)
+    # r0 counts 0..9: exactly ten trips, and the bounds agree
+    assert loop.trip_lo == 10
+    assert loop.trip_hi == 10
+    assert loop.trip_estimate == 10
+    assert innermost_loop_of(function, loop.header) is loop
+
+
+def test_nested_loops_are_ordered_outermost_first():
+    cfg = cfg_with_trip_counts("""
+        .text
+        .entry main
+        .func main
+main:
+        mov r0, #0
+outer:
+        mov r1, #0
+inner:
+        add r1, r1, #1
+        cmp r1, #4
+        blt inner
+        add r0, r0, #1
+        cmp r0, #3
+        blt outer
+        halt
+        .endfunc
+""")
+    function = cfg.functions[cfg.entry]
+    assert len(function.loops) == 2
+    by_header = {loop.header: loop for loop in function.loops}
+    inner = max(by_header)  # inner header sits later in the text
+    outer = min(by_header)
+    assert by_header[inner].body < by_header[outer].body
+    assert by_header[outer].trip_hi == 3
+    assert by_header[inner].trip_hi == 4
+    # loops_containing lists outermost first
+    chain = function.loops_containing(inner)
+    assert [loop.header for loop in chain] == [outer, inner]
+
+
+def test_data_dependent_loop_is_unbounded():
+    cfg = cfg_with_trip_counts("""
+        .text
+        .entry main
+        .func main
+main:
+        ldr r2, =seed
+        ldr r0, [r2]
+spin:
+        lsr r0, r0, #1
+        cmp r0, #0
+        bne spin
+        halt
+        .endfunc
+        .data
+seed:   .word 12345
+""")
+    function = cfg.functions[cfg.entry]
+    (loop,) = function.loops
+    assert loop.trip_hi is None
+    assert loop.trip_lo >= 1
+    assert loop.trip_estimate is not None
+
+
+def test_call_graph_edges_and_function_split():
+    cfg = cfg_of("""
+        .text
+        .entry main
+        .func main
+main:
+        mov r0, #7
+        bl helper
+        halt
+        .endfunc
+        .func helper
+helper:
+        add r0, r0, #1
+        bx lr
+        .endfunc
+""")
+    names = sorted(f.name for f in cfg.functions.values())
+    assert names == ["helper", "main"]
+    helper_entry = next(entry for entry, f in cfg.functions.items()
+                        if f.name == "helper")
+    assert any(target == helper_entry for _, target in cfg.call_sites)
+    # the bl terminates its block and records the callee
+    caller_block = next(cfg.blocks[site] for site, target in cfg.call_sites
+                        if target == helper_entry)
+    assert caller_block.call_target == helper_entry
+
+
+def test_use_def_of_common_instructions():
+    program = assemble("""
+        .text
+        .entry main
+        .func main
+main:
+        mov r0, #1
+        add r2, r0, r1
+        cmp r2, #3
+        beq out
+        str r2, [r0, r1]
+out:
+        halt
+        .endfunc
+""")
+    by_address = [program.instructions[a]
+                  for a in sorted(program.instructions)]
+    mov, add, cmp_, beq, str_ = by_address[:5]
+    assert use_def(mov).defs == frozenset({0})
+    assert use_def(add).uses == frozenset({0, 1})
+    assert use_def(add).defs == frozenset({2})
+    assert FLAGS in use_def(cmp_).defs
+    assert FLAGS in use_def(beq).uses
+    # a store reads its source and both address registers, defines nothing
+    sd = use_def(str_)
+    assert sd.uses == frozenset({0, 1, 2})
+    assert sd.defs == frozenset()
+
+
+def test_call_arguments_are_implicit_uses_only():
+    program = assemble("""
+        .text
+        .entry main
+        .func main
+main:
+        bl helper
+        halt
+        .endfunc
+        .func helper
+helper: bx lr
+        .endfunc
+""")
+    bl = program.instructions[min(program.instructions)]
+    ud = use_def(bl)
+    # liveness keeps argument registers alive across a call site...
+    assert {0, 1, 2, 3} <= set(ud.implicit_uses)
+    assert {0, 1, 2, 3} <= set(ud.live_uses)
+    # ...but the maybe-uninitialized check must not report them
+    assert not ({0, 1, 2, 3} & set(ud.uses))
+
+
+def test_liveness_and_dead_store_detection():
+    cfg = cfg_of("""
+        .text
+        .entry main
+        .func main
+main:
+        mov r5, #1
+        mov r5, #2
+        ldr r4, =out
+        str r5, [r4]
+        halt
+        .endfunc
+        .data
+out:    .word 0
+""")
+    function = cfg.functions[cfg.entry]
+    flow = analyze_function(cfg, function)
+    dead = [(address, ud) for address, ud in flow.dead_stores]
+    assert len(dead) == 1
+    assert dead[0][0] == cfg.entry  # the first mov r5 is dead
+
+
+def test_constant_propagation_resolves_addresses():
+    program = assemble("""
+        .text
+        .entry main
+        .func main
+main:
+        ldr r4, =table
+        ldr r0, [r4]
+        ldr r1, [r4, #4]
+        halt
+        .endfunc
+        .data
+table:  .word 10, 20
+""")
+    cfg = build_cfg(program)
+    constprop = ConstantPropagation(cfg)
+    function = cfg.functions[cfg.entry]
+    block = cfg.blocks[cfg.entry]
+    addresses = sorted(program.instructions)
+    base = program.symbol("table")
+    for offset, address in ((0, addresses[1]), (4, addresses[2])):
+        instruction = program.instructions[address]
+        resolved, regions = constprop.address_regions(
+            function, block.start, address, instruction)
+        assert resolved == base + offset
+        assert regions

@@ -316,3 +316,83 @@ table:  .word 1, 2, 3
 def test_unknown_directive_rejected():
     with pytest.raises(AssemblyError):
         assemble(".text\n.bogus 1\n")
+
+
+# --- structured diagnostics ---------------------------------------------------
+# Every assembler failure carries a stable rule id and a 1-based line
+# number, and converts into the same Finding shape the linter emits,
+# so `repro lint` and CI consume broken sources uniformly.
+
+def _assembly_error(source):
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(source)
+    return excinfo.value
+
+
+def test_duplicate_label_diagnostic():
+    error = _assembly_error(
+        ".text\n.func main\nmain: nop\nmain: halt\n.endfunc\n")
+    assert error.rule == "asm.duplicate-label"
+    assert error.line == 4
+
+
+def test_undefined_label_diagnostic():
+    error = _assembly_error(
+        ".text\n.func main\nmain: b nowhere\nhalt\n.endfunc\n")
+    assert error.rule == "asm.undefined-label"
+
+
+def test_bad_literal_diagnostic():
+    error = _assembly_error(
+        ".text\n.func main\nmain: mov r0, #0x\nhalt\n.endfunc\n")
+    assert error.rule == "asm.bad-literal"
+    assert error.line == 3
+
+
+def test_unknown_instruction_diagnostic():
+    error = _assembly_error(
+        ".text\n.func main\nmain: frobnicate r0\nhalt\n.endfunc\n")
+    assert error.rule == "asm.unknown-instruction"
+    assert error.line == 3
+
+
+def test_unknown_directive_diagnostic():
+    error = _assembly_error(".text\n.bogus 1\n")
+    assert error.rule == "asm.unknown-directive"
+    assert error.line == 2
+
+
+def test_structure_diagnostic():
+    error = _assembly_error(".text\n.endfunc\n")
+    assert error.rule == "asm.structure"
+
+
+def test_encoding_error_default_rule():
+    error = _assembly_error(
+        ".text\n.func main\nmain: mov r99, #1\nhalt\n.endfunc\n")
+    assert error.rule.startswith("asm.")
+
+
+def test_error_to_finding_shape():
+    error = _assembly_error(
+        ".text\n.func main\nmain: frobnicate r0\nhalt\n.endfunc\n")
+    finding = error.to_finding(source="broken.s")
+    assert finding.rule == "asm.unknown-instruction"
+    assert finding.severity.value == "error"
+    assert finding.source == "broken.s"
+    assert finding.span.start == finding.span.end == 3
+    assert "frobnicate" in finding.snippet
+    rendered = finding.format()
+    assert rendered.startswith(
+        "broken.s:3: error [asm.unknown-instruction]")
+    payload = finding.to_dict()
+    assert payload["line"] == 3
+    assert payload["rule"] == "asm.unknown-instruction"
+
+
+def test_error_message_names_line_and_source_text():
+    error = _assembly_error(
+        ".text\n.func main\nmain: frobnicate r0\nhalt\n.endfunc\n")
+    assert "line 3" in str(error)
+    assert "frobnicate" in str(error)
+    assert error.bare_message and "line" not in error.bare_message

@@ -1,0 +1,215 @@
+"""``repro lint``: every rule fires on a crafted bad program, and the
+bundled corpus (kernels, case study, examples) stays error-clean."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import LINT_RULES, lint_program, lint_source
+from repro.diagnostics import Severity
+from repro.workloads.case_study import case_study_program
+from repro.workloads.kernels import kernel_names, kernel_program
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples", "asm")
+
+
+def rules_of(source):
+    report = lint_source(source)
+    return {finding.rule for finding in report.findings}
+
+
+def wrap(body, data=""):
+    text = "        .text\n        .entry main\n        .func main\n"
+    text += body
+    text += "\n        .endfunc\n"
+    if data:
+        text += "        .data\n" + data + "\n"
+    return text
+
+
+# --- every error rule fires -------------------------------------------------
+
+def test_missing_addressing_mode_fires():
+    source = wrap("main:   mov r0, #1\n        str r0, =out\n"
+                  "        halt",
+                  data="out:    .word 0")
+    assert "lint.missing-addressing-mode" in rules_of(source)
+
+
+def test_store_to_text_fires():
+    source = wrap("main:   ldr r4, =main\n        mov r0, #1\n"
+                  "        str r0, [r4]\n        halt")
+    assert "lint.store-to-text" in rules_of(source)
+
+
+def test_out_of_region_fires():
+    source = wrap("main:   mov r4, #8\n        ldr r0, [r4]\n        halt")
+    assert "lint.out-of-region" in rules_of(source)
+
+
+def test_misaligned_access_fires():
+    source = wrap("main:   ldr r4, =table\n        ldr r0, [r4, #2]\n"
+                  "        halt",
+                  data="table:  .word 1, 2")
+    assert "lint.misaligned-access" in rules_of(source)
+
+
+def test_no_flag_setter_fires():
+    source = wrap("main:   beq out\n        mov r0, #1\nout:    halt")
+    assert "lint.no-flag-setter" in rules_of(source)
+
+
+def test_infinite_loop_fires():
+    source = wrap("main:   mov r0, #0\nspin:   add r0, r0, #1\n"
+                  "        b spin")
+    assert "lint.infinite-loop" in rules_of(source)
+
+
+def test_fallthrough_off_end_fires():
+    source = wrap("main:   mov r0, #1\n        add r0, r0, #1")
+    assert "lint.fallthrough-off-end" in rules_of(source)
+
+
+def test_bad_call_target_fires():
+    source = wrap("main:   bl table\n        halt",
+                  data="table:  .word 1")
+    assert "lint.bad-call-target" in rules_of(source)
+
+
+# --- warning / info rules ---------------------------------------------------
+
+def test_unreachable_code_fires():
+    source = wrap("main:   halt\n        mov r0, #1\n        halt")
+    assert "lint.unreachable-code" in rules_of(source)
+
+
+def test_dead_store_fires():
+    source = wrap("main:   mov r5, #1\n        mov r5, #2\n"
+                  "        ldr r4, =out\n        str r5, [r4]\n"
+                  "        halt",
+                  data="out:    .word 0")
+    assert "lint.dead-store" in rules_of(source)
+
+
+def test_uninitialized_register_fires():
+    source = wrap("main:   add r0, r7, #1\n        halt")
+    assert "lint.uninitialized-register" in rules_of(source)
+
+
+def test_unused_data_fires():
+    source = wrap("main:   halt", data="orphan: .word 42")
+    assert "lint.unused-data" in rules_of(source)
+
+
+def test_every_rule_has_a_catalog_entry():
+    for rule, (severity, description) in LINT_RULES.items():
+        assert rule.startswith("lint.")
+        assert isinstance(severity, Severity)
+        assert description
+
+
+# --- report shape -----------------------------------------------------------
+
+def test_findings_carry_span_block_and_snippet():
+    source = wrap("main:   mov r0, #1\n        str r0, =out\n"
+                  "        halt",
+                  data="out:    .word 0")
+    report = lint_source(source, name="bad.s")
+    finding = next(f for f in report.findings
+                   if f.rule == "lint.missing-addressing-mode")
+    assert finding.severity is Severity.ERROR
+    assert finding.source == "bad.s"
+    assert finding.block == "main"
+    assert finding.span is not None and finding.span.start == 5
+    assert "str" in finding.snippet
+    assert report.has_errors
+    assert report.worst() is Severity.ERROR
+
+
+def test_findings_sorted_by_line_then_severity():
+    source = wrap("main:   mov r5, #1\n        mov r5, #2\n"
+                  "        str r5, =out\n        halt",
+                  data="out:    .word 0")
+    report = lint_source(source)
+    lines = [f.span.start for f in report.findings if f.span]
+    assert lines == sorted(lines)
+
+
+def test_json_rendering_is_machine_readable():
+    source = wrap("main:   beq out\nout:    halt")
+    report = lint_source(source, name="cond.s")
+    payload = json.loads(report.to_json())
+    assert payload["source"] == "cond.s"
+    assert payload["summary"]["error"] >= 1
+    (finding,) = [f for f in payload["findings"]
+                  if f["rule"] == "lint.no-flag-setter"]
+    assert finding["severity"] == "error"
+    assert isinstance(finding["line"], int)
+
+
+def test_assembly_error_becomes_finding():
+    report = lint_source(".text\n.func main\nmain: bogus r0\n.endfunc\n",
+                         name="broken.s")
+    assert report.assembly_failed
+    assert report.has_errors
+    (finding,) = report.findings
+    assert finding.rule == "asm.unknown-instruction"
+    assert finding.span.start == 3
+
+
+# --- the bundled corpus gates on errors -------------------------------------
+
+def _corpus():
+    program = case_study_program()
+    if hasattr(program, "program"):
+        program = program.program
+    yield "case_study", program
+    for name in kernel_names():
+        yield name, kernel_program(name).program
+
+
+@pytest.mark.parametrize("name,program",
+                         list(_corpus()), ids=lambda v: str(v)[:20])
+def test_bundled_workloads_lint_error_clean(name, program):
+    if not isinstance(program, str):
+        report = lint_program(program, source=str(name))
+        assert not report.has_errors, report.to_text()
+
+
+def test_example_sources_lint_fully_clean():
+    sources = sorted(entry for entry in os.listdir(EXAMPLES_DIR)
+                     if entry.endswith(".s"))
+    assert sources, "examples/asm should ship at least one program"
+    for entry in sources:
+        with open(os.path.join(EXAMPLES_DIR, entry)) as handle:
+            report = lint_source(handle.read(), name=entry)
+        assert not report.findings, report.to_text()
+
+
+# --- the CLI front-end ------------------------------------------------------
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+    clean = tmp_path / "clean.s"
+    clean.write_text(wrap("main:   mov r0, #1\n        halt"))
+    bad = tmp_path / "bad.s"
+    bad.write_text(wrap("main:   mov r0, #1\n        str r0, =out\n"
+                        "        halt", data="out:    .word 0"))
+    assert main(["lint", str(clean)]) == 0
+    assert main(["lint", str(bad)]) == 1
+    capsys.readouterr()
+    assert main(["lint", "--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["error"] >= 1
+
+
+def test_cli_lint_accepts_workload_specs(capsys):
+    from repro.cli import main
+    assert main(["lint", "kernel:crc32", "case"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel:crc32" in out

@@ -1,0 +1,166 @@
+"""Static profile estimator: soundness and MDA cross-validation.
+
+The headline guarantees, checked on every bundled kernel plus the
+paper's case study:
+
+* static access-count bounds *bracket* the dynamically measured
+  counts (soundness of the interval analysis), and
+* driving MDA with the static profile assigns at least 90% of blocks
+  to the same region as the dynamic profile (fidelity of the point
+  estimates); divergent blocks are listed in the assertion message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_static_profile
+from repro.pipeline import EvaluationContext
+from repro.profile import StaticProfile, profile_program
+from repro.eval.structures import plan_for_structure
+from repro.workloads.case_study import case_study_program
+from repro.workloads.kernels import kernel_names, kernel_program
+
+AGREEMENT_FLOOR = 0.90
+
+
+def _workloads():
+    program = case_study_program()
+    if hasattr(program, "program"):
+        program = program.program
+    yield "case_study", program
+    for name in kernel_names():
+        yield name, kernel_program(name).program
+
+WORKLOADS = list(_workloads())
+IDS = [name for name, _ in WORKLOADS]
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    """(static, dynamic) profile pair per workload, computed once."""
+    pairs = {}
+    for name, program in WORKLOADS:
+        pairs[name] = (build_static_profile(program),
+                       profile_program(program))
+    return pairs
+
+
+@pytest.mark.parametrize("name", IDS)
+def test_static_profile_shape(name, profiles):
+    static, dynamic = profiles[name]
+    assert isinstance(static, StaticProfile)
+    assert static.flavor == "static"
+    assert dynamic.flavor == "dynamic"
+    # same block universe, so MDA sees an interchangeable profile
+    assert set(static.blocks) == set(dynamic.blocks)
+    assert static.total_cycles > 0
+    for stats in static.blocks.values():
+        assert stats.reads >= 0 and stats.writes >= 0
+        bounds = static.bounds_of(stats.name)
+        assert bounds is not None
+        # the point estimate must sit inside its own interval
+        assert bounds.reads.contains(stats.reads)
+        assert bounds.writes.contains(stats.writes)
+
+
+@pytest.mark.parametrize("name", IDS)
+def test_static_bounds_bracket_dynamic_counts(name, profiles):
+    static, dynamic = profiles[name]
+    out_of_bounds = []
+    for block_name, measured in dynamic.blocks.items():
+        bounds = static.bounds_of(block_name)
+        if not bounds.reads.contains(measured.reads):
+            out_of_bounds.append(
+                "%s reads %d not in %s"
+                % (block_name, measured.reads, bounds.reads))
+        if not bounds.writes.contains(measured.writes):
+            out_of_bounds.append(
+                "%s writes %d not in %s"
+                % (block_name, measured.writes, bounds.writes))
+        if not bounds.ace_cycles.contains(int(measured.ace_cycles)):
+            out_of_bounds.append(
+                "%s ace %d not in %s"
+                % (block_name, int(measured.ace_cycles),
+                   bounds.ace_cycles))
+    assert not out_of_bounds, "; ".join(out_of_bounds)
+
+
+@pytest.mark.parametrize("name", IDS)
+def test_mda_region_agreement(name, profiles):
+    static, dynamic = profiles[name]
+    _, static_plan, static_result = plan_for_structure(static, "ftspm")
+    _, dynamic_plan, dynamic_result = plan_for_structure(dynamic, "ftspm")
+    assert static_result.profile_flavor == "static"
+    assert dynamic_result.profile_flavor == "dynamic"
+    static_regions = {block: assignment.region_name
+                      for block, assignment
+                      in static_plan.assignments.items()}
+    dynamic_regions = {block: assignment.region_name
+                       for block, assignment
+                       in dynamic_plan.assignments.items()}
+    blocks = sorted(set(static_regions) | set(dynamic_regions))
+    divergent = [
+        "%s: static->%s dynamic->%s"
+        % (block, static_regions.get(block), dynamic_regions.get(block))
+        for block in blocks
+        if static_regions.get(block) != dynamic_regions.get(block)]
+    agreement = (len(blocks) - len(divergent)) / len(blocks)
+    assert agreement >= AGREEMENT_FLOOR, (
+        "%s: %d/%d blocks agree (%.0f%%); divergent: %s"
+        % (name, len(blocks) - len(divergent), len(blocks),
+           agreement * 100, "; ".join(divergent)))
+
+
+def test_assumptions_are_recorded():
+    """Every guess the analyzer makes is surfaced, not silent."""
+    _, program = WORKLOADS[0]  # case study: recursion + pointer walks
+    static = build_static_profile(program)
+    assert static.assumptions
+    assert all(isinstance(entry, str) for entry in static.assumptions)
+
+
+# --- pipeline integration ---------------------------------------------------
+
+def test_static_profile_is_a_cached_artifact():
+    context = EvaluationContext()
+    program = kernel_program("fir").program
+    first = context.static_profile_of(program)
+    computes = context.counters.computes
+    second = context.static_profile_of(program)
+    assert second is first
+    assert context.counters.computes == computes
+    assert context.counters.memo_hits >= 1
+
+
+def test_lint_report_is_a_cached_artifact():
+    context = EvaluationContext()
+    program = kernel_program("fir").program
+    first = context.lint_of(program)
+    second = context.lint_of(program)
+    assert second is first
+    assert not first.has_errors
+
+
+def test_resolve_workload_profile_flavor():
+    context = EvaluationContext()
+    program, static = context.resolve_workload(
+        "kernel:fir", profile_flavor="static")
+    assert program is not None
+    assert static.flavor == "static"
+    _, dynamic = context.resolve_workload("kernel:fir")
+    assert dynamic.flavor == "dynamic"
+    # synthetic workloads have no program: flavor request is a no-op
+    none_program, synthetic = context.resolve_workload(
+        "qsort", profile_flavor="static")
+    assert none_program is None
+    assert synthetic.flavor == "synthetic"
+
+
+def test_flavor_distinguishes_cache_keys():
+    from repro.pipeline.keys import profile_fingerprint
+    context = EvaluationContext()
+    program = kernel_program("fir").program
+    static = context.static_profile_of(program)
+    dynamic = context.profile_of(program)
+    assert profile_fingerprint(static) != profile_fingerprint(dynamic)
