@@ -41,8 +41,11 @@ from .cfg import build_cfg, is_return, writes_pc
 from .loops import infer_trip_counts
 from .values import ConstantPropagation
 
-#: calls per external invocation assumed for a recursive cycle
-RECURSION_CALL_ESTIMATE = 64
+#: calls per external invocation assumed for a recursive cycle; a
+#: divide-and-conquer routine over an SPM-sized object (hundreds of
+#: words) makes on the order of that many calls, e.g. ~680 for the
+#: case study's 512-word quicksort
+RECURSION_CALL_ESTIMATE = 256
 #: stack frames assumed live for a recursive cycle
 RECURSION_DEPTH_ESTIMATE = 16
 #: worst-case cycles per individual memory access (deep miss path);
@@ -224,21 +227,32 @@ class ProgramAnalysis:
         cfg = self.cfg
         function = cfg.functions[entry]
         body = set(function.blocks)
-        loops = sorted(function.loops, key=lambda loop: -len(loop.body))
         innermost = {}
         for start in function.blocks:
             containing = function.loops_containing(start)
             innermost[start] = containing[-1] if containing else None
 
         header_counts = {}  # loop header -> (hi or None, est)
+        in_progress = set()
 
         def hi_est_of(start):
             loop = innermost[start]
             if loop is None:
                 return 1, 1
-            return header_counts[loop.header]
+            return header_count(loop)
 
-        for loop in loops:  # outermost first
+        def header_count(loop):
+            # A loop's entry count depends on the counts of loops its
+            # outside predecessors sit in (a sibling loop's guard can
+            # fall straight into this header), so resolve on demand
+            # rather than in any fixed processing order.
+            if loop.header in header_counts:
+                return header_counts[loop.header]
+            if loop.header in in_progress:
+                # mutually-entered loops: no finite bound without a
+                # full system solve, so give up on the upper bound
+                return None, 1
+            in_progress.add(loop.header)
             entries_hi, entries_est = 0, 0
             for predecessor in cfg.blocks[loop.header].predecessors:
                 if predecessor in body and predecessor not in loop.body:
@@ -250,14 +264,17 @@ class ProgramAnalysis:
             if loop.header == entry:
                 entries_hi = None if entries_hi is None else entries_hi + 1
                 entries_est += 1
+            in_progress.discard(loop.header)
             if entries_est == 0 and entries_hi == 0:
                 # loop only reachable through itself: dead
-                header_counts[loop.header] = (0, 0)
-                continue
-            hi = (None if entries_hi is None or loop.trip_hi is None
-                  else entries_hi * loop.trip_hi)
-            header_counts[loop.header] = (
-                hi, max(entries_est, 1) * max(loop.trip_estimate or 1, 1))
+                result = (0, 0)
+            else:
+                hi = (None if entries_hi is None or loop.trip_hi is None
+                      else entries_hi * loop.trip_hi)
+                result = (hi, max(entries_est, 1)
+                          * max(loop.trip_estimate or 1, 1))
+            header_counts[loop.header] = result
+            return result
 
         guaranteed = self._guaranteed_blocks(function)
         for start in function.blocks:

@@ -274,11 +274,16 @@ class ConstantPropagation:
         program_entry = cfg.entry
         if program_entry in cfg.functions:
             self.entry_states[program_entry] = entry_state(domain)
-        # Functions never called and not the entry still get analyzed,
-        # with an all-TOP state (their callers are unknown).
+        # Called functions start at bottom (absent, which meet_states
+        # treats as identity) so the meet over their call sites can
+        # actually refine — seeding them TOP would pin them there.
+        # Only functions no call site targets default to all-TOP
+        # (their callers are unknown).
+        called = {target for _, target in cfg.call_sites}
         for entry in cfg.functions:
-            self.entry_states.setdefault(
-                entry, tuple([TOP] * NUM_REGISTERS))
+            if entry not in called:
+                self.entry_states.setdefault(
+                    entry, tuple([TOP] * NUM_REGISTERS))
 
         for _ in range(64):  # outer interprocedural fixpoint
             call_states = {}
@@ -286,30 +291,44 @@ class ConstantPropagation:
                 self._solve_function(function, call_states)
             changed = False
             for target, state in call_states.items():
-                if target not in self.entry_states:
+                if target not in cfg.functions:
                     continue
                 if target == program_entry:
                     continue  # the entry keeps its machine state
-                merged = meet_states(domain, self.entry_states[target],
+                merged = meet_states(domain, self.entry_states.get(target),
                                      state)
-                if merged != self.entry_states[target]:
+                if merged != self.entry_states.get(target):
                     self.entry_states[target] = merged
                     changed = True
             if not changed:
-                return
-        # Non-convergence would be a lattice bug; degrade safely.
-        for entry in list(self.entry_states):
-            if entry != program_entry:
+                break
+        else:
+            # Non-convergence would be a lattice bug; degrade safely.
+            for entry in cfg.functions:
+                if entry != program_entry:
+                    self.entry_states[entry] = tuple(
+                        [TOP] * NUM_REGISTERS)
+            call_states = {}
+            for entry, function in cfg.functions.items():
+                self._solve_function(function, call_states)
+            return
+        # A called function whose only callers are themselves
+        # unreachable never received a call state; analyze it with an
+        # all-TOP entry so its intra-function constants still resolve.
+        orphans = [entry for entry in cfg.functions
+                   if entry not in self.entry_states]
+        if orphans:
+            for entry in orphans:
                 self.entry_states[entry] = tuple([TOP] * NUM_REGISTERS)
-        call_states = {}
-        for entry, function in cfg.functions.items():
-            self._solve_function(function, call_states)
+            call_states = {}
+            for entry in orphans:
+                self._solve_function(cfg.functions[entry], call_states)
 
     def _solve_function(self, function, call_states):
         cfg, domain = self.cfg, self.domain
         body = set(function.blocks)
         states = {start: None for start in body}
-        states[function.entry] = self.entry_states[function.entry]
+        states[function.entry] = self.entry_states.get(function.entry)
         worklist = list(function.blocks)
         iterations = 0
         while worklist and iterations < 10000:

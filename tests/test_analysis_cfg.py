@@ -270,3 +270,73 @@ table:  .word 10, 20
             function, block.start, address, instruction)
         assert resolved == base + offset
         assert regions
+
+
+def test_constant_argument_propagates_into_callee():
+    """The callee's entry state is the meet over its call sites, not TOP
+    (regression: pre-seeding every entry to all-TOP made the
+    interprocedural fixpoint a no-op)."""
+    program = assemble("""
+        .text
+        .entry main
+        .func main
+main:
+        ldr r0, =table
+        mov r1, #42
+        bl load
+        halt
+        .endfunc
+        .func load
+load:
+        ldr r2, [r0]
+        bx lr
+        .endfunc
+        .data
+table:  .word 7
+""")
+    cfg = build_cfg(program)
+    constprop = ConstantPropagation(cfg)
+    entry = program.symbol("load")
+    state = constprop.entry_states[entry]
+    assert state[0].is_const and state[0].const == program.symbol("table")
+    assert state[1].is_const and state[1].const == 42
+    # the access through the argument pointer resolves to the table
+    function = cfg.functions[entry]
+    block = cfg.blocks[entry]
+    address, instruction = block.instructions[0]
+    resolved, regions = constprop.address_regions(
+        function, block.start, address, instruction)
+    assert resolved == program.symbol("table")
+    assert "table" in regions
+
+
+def test_conflicting_call_sites_meet_at_callee_entry():
+    """Two call sites with different argument constants still meet to a
+    sound (pointer or TOP) value, never keep the first one."""
+    program = assemble("""
+        .text
+        .entry main
+        .func main
+main:
+        ldr r0, =table
+        bl load
+        ldr r0, =other
+        bl load
+        halt
+        .endfunc
+        .func load
+load:
+        ldr r2, [r0]
+        bx lr
+        .endfunc
+        .data
+table:  .word 1
+other:  .word 2
+""")
+    cfg = build_cfg(program)
+    constprop = ConstantPropagation(cfg)
+    state = constprop.entry_states[program.symbol("load")]
+    value = state[0]
+    assert not value.is_const
+    assert value.is_pointer and value.regions == frozenset(
+        {"table", "other"})

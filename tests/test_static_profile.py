@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import assemble
 from repro.analysis import build_static_profile
 from repro.pipeline import EvaluationContext
 from repro.profile import StaticProfile, profile_program
@@ -110,6 +111,46 @@ def test_mda_region_agreement(name, profiles):
         "%s: %d/%d blocks agree (%.0f%%); divergent: %s"
         % (name, len(blocks) - len(divergent), len(blocks),
            agreement * 100, "; ".join(divergent)))
+
+
+SIBLING_LOOPS = """
+        .text
+        .entry main
+        .func main
+main:
+        mov r0, #0
+        mov r1, #0
+init:
+        add r0, r0, #1
+        cmp r0, #4
+        blt init
+loop:
+        mov r2, #0
+        cmp r0, #8
+        bge done
+body:
+        add r1, r1, #1
+        add r0, r0, #1
+        b loop
+done:
+        halt
+        .endfunc
+"""
+
+
+def test_sibling_loops_with_fallthrough_entry():
+    """An init loop falling straight into a larger sibling loop
+    (regression: entry counts were computed outermost-first by body
+    size, so the larger loop looked up its sibling's count before it
+    existed and crashed)."""
+    program = assemble(SIBLING_LOOPS)
+    static = build_static_profile(program)
+    dynamic = profile_program(program)
+    assert set(static.blocks) == set(dynamic.blocks)
+    for name, measured in dynamic.blocks.items():
+        bounds = static.bounds_of(name)
+        assert bounds.reads.contains(measured.reads)
+        assert bounds.writes.contains(measured.writes)
 
 
 def test_assumptions_are_recorded():
