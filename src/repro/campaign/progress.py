@@ -4,12 +4,19 @@ The runner emits :class:`ProgressEvent`s through a plain callable hook,
 so library users can attach anything (a logger, a metrics sink, a test
 probe).  :class:`ProgressPrinter` is the default CLI sink: one line per
 shard with throughput and a rate-based ETA, plus start/done summaries.
+Independently of any sink, the runner re-emits every event into the
+:mod:`repro.obs` metrics registry via :func:`progress_to_metrics`, so a
+``--metrics`` run records shard outcomes, retry counts, and the shard
+wall-clock distribution without attaching a printer.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
+from typing import Optional
+
+from .. import obs
 
 
 @dataclass(frozen=True)
@@ -17,7 +24,7 @@ class ProgressEvent:
     """One observable moment of a running campaign."""
 
     kind: str  # "start" | "shard-ok" | "shard-retry" | "shard-failed" | "done"
-    shard: int = None
+    shard: Optional[int] = None
     attempt: int = 1
     shards_done: int = 0
     shards_total: int = 0
@@ -25,8 +32,8 @@ class ProgressEvent:
     trials_total: int = 0
     fresh_trials: int = 0  # trials completed by this invocation only
     elapsed: float = 0.0  # wall seconds since run() started
-    shard_elapsed: float = None
-    error: str = None
+    shard_elapsed: Optional[float] = None
+    error: Optional[str] = None
 
     @property
     def throughput(self):
@@ -42,6 +49,41 @@ class ProgressEvent:
         if rate <= 0:
             return None
         return (self.trials_total - self.trials_done) / rate
+
+
+def progress_to_metrics(event):
+    """Re-emit one :class:`ProgressEvent` into the metrics registry.
+
+    No-op while :mod:`repro.obs` is disabled.  Counters track shard
+    outcomes and retries, gauges track live totals, and a histogram
+    collects the per-shard wall-clock distribution.
+    """
+    if not obs.enabled():
+        return
+    kind = event.kind
+    if kind == "start":
+        obs.set_gauge("campaign_shards_total", event.shards_total,
+                      help="shards in the campaign plan")
+        obs.set_gauge("campaign_trials_requested", event.trials_total,
+                      help="trials requested for the campaign")
+    elif kind == "shard-ok":
+        obs.inc("campaign_shards_finished_total", status="ok",
+                help="shard completions by final status")
+        if event.shard_elapsed is not None:
+            obs.observe("campaign_shard_seconds", event.shard_elapsed,
+                        help="per-shard wall-clock seconds")
+    elif kind == "shard-retry":
+        obs.inc("campaign_shard_retries_total",
+                help="shard attempts that failed and were retried")
+    elif kind == "shard-failed":
+        obs.inc("campaign_shards_finished_total", status="failed",
+                help="shard completions by final status")
+    if kind in ("shard-ok", "shard-failed", "done"):
+        obs.set_gauge("campaign_trials_done", event.trials_done,
+                      help="completed trials, resumed shards included")
+        obs.set_gauge("campaign_throughput_trials_per_second",
+                      event.throughput,
+                      help="fresh trials per wall-clock second")
 
 
 class ProgressPrinter:

@@ -23,13 +23,19 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Optional
 
+from .. import obs
 from ..errors import CampaignError
 from ..eval.tables import render_table
 from ..faults.injector import CampaignResult
 from .checkpoint import RunDirectory
-from .progress import ProgressEvent
+from .progress import ProgressEvent, progress_to_metrics
 from .stats import wilson_interval
+
+#: synthetic Chrome-trace lane base so overlapping shard spans render on
+#: per-shard tracks instead of as a bogus nesting on the caller thread
+_SHARD_LANE_BASE = 10_000
 
 DEFAULT_MAX_RETRIES = 2
 
@@ -67,9 +73,9 @@ class ShardRecord:
     trials: int
     status: str  # "ok" | "failed"
     attempts: int = 1
-    elapsed: float = None
-    result: dict = None  # CampaignResult.to_dict() when status == "ok"
-    error: str = None
+    elapsed: Optional[float] = None
+    result: Optional[dict] = None  # CampaignResult.to_dict() when "ok"
+    error: Optional[str] = None
     resumed: bool = False
 
     def to_journal(self):
@@ -112,7 +118,7 @@ class CampaignSummary:
     elapsed: float = 0.0
     jobs: int = 1
     fresh_trials: int = 0
-    engine: str = None  # engine forced for this run (None = default)
+    engine: Optional[str] = None  # engine forced for this run (None = default)
 
     @property
     def completed_shards(self):
@@ -257,14 +263,23 @@ class CampaignRunner:
         pending = [index for index in range(self.spec.shard_count)
                    if index not in records]
         state = _RunState(self, records, start)
-        state.notify("start")
-        if pending:
-            if self.jobs == 1:
-                self._run_serial(pending, state)
-            else:
-                self._run_pool(pending, state)
-        summary = state.summary()
-        state.notify("done")
+        with obs.span("campaign.run", category="campaign", attrs={
+                "shards": self.spec.shard_count,
+                "trials": self.spec.trials,
+                "jobs": self.jobs,
+                "resumed_shards": len(records)}) as run_span:
+            state.notify("start")
+            if pending:
+                if self.jobs == 1:
+                    self._run_serial(pending, state)
+                else:
+                    self._run_pool(pending, state)
+            summary = state.summary()
+            state.notify("done")
+            run_span.set_attr("trials_completed",
+                              summary.trials_completed)
+            run_span.set_attr("failed_shards",
+                              len(summary.failed_shards))
         return summary
 
     def _run_serial(self, pending, state):
@@ -366,6 +381,14 @@ class _RunState:
         self.records[index] = record
         self.fresh_trials += record.trials
         self._checkpoint(record)
+        # The shard executed elsewhere (a worker process, or inline just
+        # now); file its span from the measured elapsed time, on a
+        # per-shard lane so parallel shards render side by side.
+        obs.add_complete_span(
+            "campaign.shard", elapsed or 0.0, category="campaign",
+            attrs={"shard": index, "trials": record.trials,
+                   "attempts": attempts, "seed": record.seed},
+            tid=_SHARD_LANE_BASE + index)
         self.notify("shard-ok", shard=index, attempt=attempts,
                     shard_elapsed=elapsed)
 
@@ -421,10 +444,10 @@ class _RunState:
 
     def notify(self, kind, shard=None, attempt=1, shard_elapsed=None,
                error=None):
-        if self.runner.progress is None:
+        if self.runner.progress is None and not obs.enabled():
             return
         done = [r for r in self.records.values() if r.status == "ok"]
-        self.runner.progress(ProgressEvent(
+        event = ProgressEvent(
             kind=kind,
             shard=shard,
             attempt=attempt,
@@ -436,4 +459,7 @@ class _RunState:
             elapsed=time.perf_counter() - self.start,
             shard_elapsed=shard_elapsed,
             error=error,
-        ))
+        )
+        progress_to_metrics(event)
+        if self.runner.progress is not None:
+            self.runner.progress(event)

@@ -22,6 +22,7 @@ import argparse
 import os
 import sys
 
+from . import obs
 from .config import preset
 from .core.online import build_machine
 from .core.priorities import OptimizationMode, thresholds_for_mode
@@ -330,6 +331,16 @@ def _add_engine_argument(parser):
                              "speed differs)")
 
 
+def _add_obs_arguments(parser):
+    parser.add_argument("--trace", metavar="FILE.json", dest="trace",
+                        help="record spans and write a Chrome/Perfetto "
+                             "trace-event JSON file (load at "
+                             "ui.perfetto.dev)")
+    parser.add_argument("--metrics", metavar="FILE", dest="metrics",
+                        help="record counters/histograms and write them "
+                             "as Prometheus text")
+
+
 def _add_profile_flavor_argument(parser):
     parser.add_argument("--profile", default="dynamic",
                         choices=("dynamic", "static"),
@@ -376,6 +387,7 @@ def build_parser():
                           help="print a per-experiment wall-clock table "
                                "to stderr")
     _add_engine_argument(p_report)
+    _add_obs_arguments(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_golden = sub.add_parser(
@@ -394,6 +406,7 @@ def build_parser():
     p_profile = sub.add_parser("profile", help="profile a workload")
     _add_workload_arguments(p_profile)
     _add_profile_flavor_argument(p_profile)
+    _add_obs_arguments(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
 
     p_lint = sub.add_parser(
@@ -413,6 +426,7 @@ def build_parser():
                        choices=sorted(STRUCTURES))
     p_map.add_argument("--mode", default="balanced",
                        choices=[m.value for m in OptimizationMode])
+    _add_obs_arguments(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_run = sub.add_parser("run", help="run a workload on a structure")
@@ -429,6 +443,7 @@ def build_parser():
     p_inject.add_argument("--seed", type=int, default=0xF7F7)
     p_inject.add_argument("--jobs", type=int, default=1,
                           help="worker processes (1 = classic serial path)")
+    _add_obs_arguments(p_inject)
     p_inject.set_defaults(func=_cmd_inject)
 
     p_campaign = sub.add_parser(
@@ -452,6 +467,7 @@ def build_parser():
                                  "recorded as failed")
     p_campaign.add_argument("--no-progress", action="store_true",
                             help="suppress per-shard progress on stderr")
+    _add_obs_arguments(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_disasm = sub.add_parser("disasm", help="disassemble a workload")
@@ -475,6 +491,10 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path or metrics_path:
+        obs.enable()
     try:
         if getattr(args, "engine", None):
             from .sim.fastpath import set_default_engine
@@ -483,6 +503,17 @@ def main(argv=None):
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1
+    finally:
+        if trace_path or metrics_path:
+            # Exports go to files and notices to stderr, so the
+            # subcommand's stdout stays byte-stable under --trace.
+            if trace_path:
+                obs.write_trace(trace_path)
+                print("wrote %s" % trace_path, file=sys.stderr)
+            if metrics_path:
+                obs.write_metrics(metrics_path)
+                print("wrote %s" % metrics_path, file=sys.stderr)
+            obs.reset()
 
 
 if __name__ == "__main__":

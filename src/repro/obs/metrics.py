@@ -1,0 +1,220 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Prometheus-flavoured, dependency-free, and deliberately small: a metric
+is named, optionally labelled (``counter.inc(1, device="dspm-stt")``),
+and every instrument keeps one scalar (or bucket vector) per distinct
+label set.  Histograms use **fixed buckets** chosen at creation, so
+recording an observation is one bisect plus two adds, and percentiles
+are estimated from the bucket counts (linear interpolation inside the
+winning bucket) — no sample retention, constant memory.
+
+Rendering to the Prometheus text exposition format lives in
+:mod:`repro.obs.export`; the registry itself only stores values.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from ..errors import ReproError
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Shared naming/label plumbing for all instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _check_value(name, value):
+        if not isinstance(value, (int, float)):
+            raise ReproError(
+                "metric %r takes numbers, got %r" % (name, value))
+
+
+class Counter(_Metric):
+    """Monotonically increasing per-label-set totals."""
+
+    kind = "counter"
+
+    def __init__(self, name, help=""):
+        super().__init__(name, help)
+        self._values = {}
+
+    def inc(self, amount=1, **labels):
+        self._check_value(self.name, amount)
+        if amount < 0:
+            raise ReproError(
+                "counter %r cannot decrease (got %r)" % (self.name, amount))
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels):
+        return self._values.get(_label_key(labels), 0)
+
+    def samples(self):
+        """[(labels_dict, value)] snapshot, label-sorted."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(dict(key), value) for key, value in items]
+
+
+class Gauge(_Metric):
+    """Last-write-wins instantaneous values."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help=""):
+        super().__init__(name, help)
+        self._values = {}
+
+    def set(self, value, **labels):
+        self._check_value(self.name, value)
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def inc(self, amount=1, **labels):
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels):
+        return self._values.get(_label_key(labels), 0)
+
+    def samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(dict(key), value) for key, value in items]
+
+
+#: generic latency-ish spread: sub-millisecond to minutes, in seconds
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   30.0, 60.0, 300.0)
+
+
+class _HistogramState:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets):
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with percentile estimation."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", buckets=None):
+        super().__init__(name, help)
+        bounds = tuple(sorted(buckets if buckets else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ReproError("histogram %r needs at least one bucket" % name)
+        self.buckets = bounds
+        self._states = {}
+
+    def observe(self, value, **labels):
+        self._check_value(self.name, value)
+        key = _label_key(labels)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = _HistogramState(
+                    len(self.buckets))
+            state.counts[index] += 1
+            state.total += value
+            state.count += 1
+
+    def count(self, **labels):
+        state = self._states.get(_label_key(labels))
+        return state.count if state is not None else 0
+
+    def sum(self, **labels):
+        state = self._states.get(_label_key(labels))
+        return state.total if state is not None else 0.0
+
+    def percentile(self, q, **labels):
+        """Estimate the ``q``-th percentile (0..100) from the buckets.
+
+        Linear interpolation inside the winning bucket; the +Inf bucket
+        reports its lower bound (the histogram cannot see beyond it).
+        """
+        state = self._states.get(_label_key(labels))
+        if state is None or state.count == 0:
+            return 0.0
+        rank = q / 100.0 * state.count
+        seen = 0
+        for index, bucket_count in enumerate(state.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                low = self.buckets[index - 1] if index > 0 else 0.0
+                high = self.buckets[index]
+                fraction = (rank - seen) / bucket_count
+                return low + (high - low) * min(1.0, max(0.0, fraction))
+            seen += bucket_count
+        return self.buckets[-1]
+
+    def samples(self):
+        """[(labels_dict, counts, total, count)] snapshot, label-sorted."""
+        with self._lock:
+            items = sorted(self._states.items())
+        return [(dict(key), list(state.counts), state.total, state.count)
+                for key, state in items]
+
+
+class MetricsRegistry:
+    """Name-keyed home for every instrument in one process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}
+
+    def _get_or_create(self, cls, name, help, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise ReproError(
+                    "metric %r already registered as a %s"
+                    % (name, metric.kind))
+            return metric
+
+    def counter(self, name, help=""):
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name, help=""):
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name, help="", buckets=None):
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name):
+        return self._metrics.get(name)
+
+    def metrics(self):
+        """All registered instruments, name-sorted."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def clear(self):
+        with self._lock:
+            self._metrics = {}

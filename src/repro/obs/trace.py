@@ -1,0 +1,232 @@
+"""Span-based tracer: nested spans with monotonic timing.
+
+A :class:`Span` is one named, timed unit of work with structured
+attributes.  Spans nest: each thread keeps its own stack of open spans,
+so a span opened while another is active records the active one as its
+parent, and the exported trace reconstructs the full tree.  Ids are
+process- and thread-safe — a span id embeds the producing process id,
+so spans recorded on behalf of campaign worker shards can never collide
+with (and therefore always nest cleanly under) the parent run's spans.
+
+Timing uses ``time.perf_counter_ns`` (monotonic); timestamps are stored
+relative to the tracer's epoch, so exported traces start near zero.
+
+Two recording paths:
+
+* :meth:`Tracer.span` — a context manager for work happening *in this
+  process*: enter starts the clock, exit stops it and files the span,
+* :meth:`Tracer.add_complete_span` — for work that already happened
+  (e.g. a campaign shard executed in a worker process, whose elapsed
+  wall-clock the parent learns from the pool result).
+
+When tracing is disabled the module-level :data:`NULL_SPAN` is handed
+out instead: one shared, stateless object whose enter/exit do nothing,
+so instrumentation sites cost a flag check and nothing else.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+
+class Span:
+    """One timed, attributed unit of work."""
+
+    __slots__ = ("name", "category", "span_id", "parent_id", "pid", "tid",
+                 "start_ns", "duration_ns", "attrs", "_tracer")
+
+    def __init__(self, name, category, span_id, parent_id, pid, tid,
+                 start_ns, duration_ns=0, attrs=None, tracer=None):
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = pid
+        self.tid = tid
+        self.start_ns = start_ns  # relative to the tracer epoch
+        self.duration_ns = duration_ns
+        self.attrs = attrs if attrs is not None else {}
+        self._tracer = tracer
+
+    @property
+    def duration(self):
+        """Span duration in seconds."""
+        return self.duration_ns / 1e9
+
+    @property
+    def enabled(self):
+        return True
+
+    def set_attr(self, key, value):
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self):
+        self.start_ns = self._tracer._now()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.duration_ns = self._tracer._now() - self.start_ns
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        self._tracer._record(self)
+        return False
+
+    def __repr__(self):
+        return "Span(%r, category=%r, duration=%.6fs)" % (
+            self.name, self.category, self.duration)
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    category = ""
+    attrs = {}
+    duration = 0.0
+    duration_ns = 0
+    enabled = False
+
+    def set_attr(self, key, value):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects completed spans; thread-safe, one instance per process.
+
+    ``enabled`` only matters for the module-level convenience wrappers
+    in :mod:`repro.obs`; calling :meth:`span` directly always records
+    (the report's ``--timings`` path relies on that to measure even
+    when no trace file was requested).
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self.pid = os.getpid()
+        self._epoch_ns = time.perf_counter_ns()
+        self._lock = threading.Lock()
+        self._spans = []
+        self._next = 0
+        self._stacks = threading.local()
+
+    # --- clock / ids ---------------------------------------------------------
+
+    def _now(self):
+        return time.perf_counter_ns() - self._epoch_ns
+
+    def _new_id(self):
+        with self._lock:
+            self._next += 1
+            serial = self._next
+        # Embed the pid so ids from different processes cannot collide.
+        return (self.pid << 24) | (serial & 0xFF_FFFF)
+
+    # --- the per-thread span stack -------------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    def _push(self, span):
+        self._stack().append(span)
+
+    def _pop(self, span):
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+
+    def current_span(self):
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # --- recording -----------------------------------------------------------
+
+    def _record(self, span):
+        with self._lock:
+            self._spans.append(span)
+
+    def span(self, name, category="repro", attrs=None):
+        """Open a new span as a context manager (records on exit)."""
+        parent = self.current_span()
+        return Span(
+            name=name,
+            category=category,
+            span_id=self._new_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            pid=self.pid,
+            tid=threading.get_native_id(),
+            start_ns=0,
+            attrs=dict(attrs) if attrs else {},
+            tracer=self,
+        )
+
+    def add_complete_span(self, name, duration, category="repro",
+                          attrs=None, tid=None, end_ns=None):
+        """File a span for work that already happened.
+
+        ``duration`` is in seconds; the span is laid out ending now (or
+        at ``end_ns``, relative to the epoch).  ``tid`` may carry a
+        synthetic lane id so overlapping externally-timed spans (e.g.
+        parallel campaign shards) render on separate tracks instead of
+        as a bogus nesting.
+        """
+        duration_ns = int(duration * 1e9)
+        if end_ns is None:
+            end_ns = self._now()
+        parent = self.current_span()
+        span = Span(
+            name=name,
+            category=category,
+            span_id=self._new_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            pid=self.pid,
+            tid=tid if tid is not None else threading.get_native_id(),
+            start_ns=max(0, end_ns - duration_ns),
+            duration_ns=duration_ns,
+            attrs=dict(attrs) if attrs else {},
+            tracer=self,
+        )
+        self._record(span)
+        return span
+
+    # --- inspection ----------------------------------------------------------
+
+    def spans(self, category=None, name=None):
+        """Snapshot of completed spans, optionally filtered."""
+        with self._lock:
+            spans = list(self._spans)
+        if category is not None:
+            spans = [s for s in spans if s.category == category]
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def __len__(self):
+        with self._lock:
+            return len(self._spans)
+
+    def children_of(self, span):
+        return [s for s in self.spans() if s.parent_id == span.span_id]
+
+    def clear(self):
+        with self._lock:
+            self._spans = []

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..config import baseline_sram_config
 from ..errors import ReproError
 from .keys import (
@@ -95,15 +96,26 @@ class EvaluationContext:
         key = artifact_key(kind, *parts)
         if key in self._memo:
             self.counters.memo_hits += 1
+            obs.inc("pipeline_artifacts_total", kind=kind,
+                    outcome="memo-hit",
+                    help="artifact lookups by kind and outcome")
             return self._memo[key]
         if disk and self.store is not None:
             value = self.store.get(key, _MISS)
             if value is not _MISS:
                 self.counters.store_hits += 1
+                obs.inc("pipeline_artifacts_total", kind=kind,
+                        outcome="store-hit",
+                        help="artifact lookups by kind and outcome")
                 self._memo[key] = value
                 return value
-        value = compute()
+        with obs.span("pipeline.%s" % kind, category="pipeline",
+                      attrs={"kind": kind, "key": key[:12]}) as stage:
+            value = compute()
+        stage.set_attr("outcome", "computed")
         self.counters.computes += 1
+        obs.inc("pipeline_artifacts_total", kind=kind, outcome="computed",
+                help="artifact lookups by kind and outcome")
         self._memo[key] = value
         if disk and self.store is not None:
             self.store.put(key, value)

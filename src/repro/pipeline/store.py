@@ -17,6 +17,8 @@ import os
 import pickle
 import tempfile
 
+from .. import obs
+
 _MISS = object()
 
 
@@ -38,33 +40,46 @@ class ArtifactStore:
 
     def get(self, key, default=None):
         """Load the artifact at ``key``; any failure reads as a miss."""
-        try:
-            with open(self._path(key), "rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            self.misses += 1
-            return default
-        self.hits += 1
-        return value
+        with obs.span("store.get", category="pipeline",
+                      attrs={"key": key[:12]}) as span:
+            try:
+                with open(self._path(key), "rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError):
+                self.misses += 1
+                span.set_attr("outcome", "miss")
+                obs.inc("artifact_store_reads_total", outcome="miss",
+                        help="disk artifact reads by hit/miss")
+                return default
+            self.hits += 1
+            span.set_attr("outcome", "hit")
+            obs.inc("artifact_store_reads_total", outcome="hit",
+                    help="disk artifact reads by hit/miss")
+            return value
 
     def put(self, key, value):
         """Atomically persist ``value`` under ``key``; returns ``value``."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=os.path.dirname(path), delete=False)
-        try:
-            with handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(handle.name, path)
-        except BaseException:
+        with obs.span("store.put", category="pipeline",
+                      attrs={"key": key[:12]}):
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=os.path.dirname(path), delete=False)
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    pickle.dump(value, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
         self.writes += 1
+        obs.inc("artifact_store_writes_total",
+                help="disk artifacts persisted")
         return value
 
     def __len__(self):

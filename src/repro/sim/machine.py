@@ -13,7 +13,9 @@ The machine is the FaCSim substitute's top level.  It
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from .. import obs
 from ..errors import ExecutionLimitExceeded, IllegalInstructionError
 from ..isa.instructions import INSTRUCTION_BYTES
 from ..mem.dma import DmaEngine
@@ -42,8 +44,8 @@ class TransferAction:
     home_address: int
     size: int = 0
     spm_address: int = 0
-    trigger_pc: int = None
-    trigger_instruction: int = None
+    trigger_pc: Optional[int] = None
+    trigger_instruction: Optional[int] = None
     once: bool = True
     write_back: bool = True
 
@@ -254,21 +256,38 @@ class Machine:
 
     def run(self, max_instructions=DEFAULT_INSTRUCTION_LIMIT,
             apply_schedule=True):
-        """Run to HALT / main-return; returns a :class:`RunResult`."""
+        """Run to HALT / main-return; returns a :class:`RunResult`.
+
+        When :mod:`repro.obs` is enabled the run is wrapped in a
+        ``sim.run`` span and a :class:`~repro.obs.simprofile.SimProfiler`
+        subscribes to the event bus for per-device/per-block hot-spot
+        attribution (forcing the fast engine into its granular mode).
+        Disabled, the cost is this one flag check — nothing per event.
+        """
         from .fastpath import resolve_engine
         engine = resolve_engine(self.engine)
         if apply_schedule:
             self.apply_static_schedule()
         cpu = self.cpu
-        if engine == "reference":
-            while not cpu.halted:
-                if cpu.stats.instructions >= max_instructions:
-                    raise ExecutionLimitExceeded(
-                        "exceeded %d instructions at pc=0x%08x"
-                        % (max_instructions, cpu.state.pc))
-                self.step()
-        else:
-            self._fast_engine().run(max_instructions)
+        run_span = obs.span("sim.run", category="sim", attrs={
+            "engine": engine, "program": self.program.source_name})
+        profiler = obs.sim_profiler_for(self)
+        try:
+            with run_span:
+                if engine == "reference":
+                    while not cpu.halted:
+                        if cpu.stats.instructions >= max_instructions:
+                            raise ExecutionLimitExceeded(
+                                "exceeded %d instructions at pc=0x%08x"
+                                % (max_instructions, cpu.state.pc))
+                        self.step()
+                else:
+                    self._fast_engine().run(max_instructions)
+                run_span.set_attr("instructions", cpu.stats.instructions)
+                run_span.set_attr("cycles", cpu.stats.cycles)
+        finally:
+            if profiler is not None:
+                obs.finish_sim_profiler(self, profiler, run_span)
         return RunResult(
             instructions=cpu.stats.instructions,
             cycles=cpu.stats.cycles,

@@ -180,3 +180,51 @@ def test_subscriber_order_does_not_change_outputs():
     vulnerabilities = {
         evaluate_structure(p, "ftspm").vulnerability for p in profiles}
     assert len(vulnerabilities) == 1
+
+
+# --- engine invariance --------------------------------------------------------
+
+def _collect_stream(engine):
+    machine = Machine(assemble(SOURCE), baseline_sram_config(),
+                      engine=engine)
+    collector = Collector()
+    machine.events.subscribe(collector)
+    machine.run()
+    return collector
+
+
+def test_event_stream_identical_across_engines():
+    """A subscriber sees the exact same typed stream whichever engine
+    retires the instructions: the fast engine's granular mode publishes
+    event-for-event what the reference loop publishes (the events are
+    frozen dataclasses, so == is full field equality)."""
+    reference = _collect_stream("reference")
+    fast = _collect_stream("fast")
+    assert reference.accesses == fast.accesses
+    assert reference.calls == fast.calls
+
+
+def test_sim_profiler_attribution_identical_across_engines():
+    """The obs hot-spot subscriber aggregates to the same table under
+    both engines — cycle, energy, and access attribution per device and
+    per program block all agree."""
+    from repro.obs.simprofile import SimProfiler
+    from repro.tech.nvsim_lite import energy_models_for
+
+    def profile_with(engine):
+        config = baseline_sram_config()
+        program = case_study_program(array_words=64, outer_iterations=1)
+        machine = Machine(program, config,
+                          energy_models=energy_models_for(config),
+                          engine=engine)
+        profiler = SimProfiler(program).attach(machine.events)
+        machine.run()
+        profiler.detach(machine.events)
+        return profiler.report()
+
+    reference = profile_with("reference")
+    fast = profile_with("fast")
+    assert reference.events == fast.events > 0
+    assert reference.devices == fast.devices
+    assert reference.blocks == fast.blocks
+    assert reference.calls == fast.calls

@@ -193,3 +193,38 @@ def test_exact_window_is_semantically_invisible(loop_program):
         setup=lambda machine: machine.add_exact_window(100, 2000))
     report = DiffReport(reference, windowed)
     assert report.matches, report.explain()
+
+
+def test_sim_profiler_attribution_survives_handoffs(loop_program):
+    """The obs hot-spot subscriber forces the fast engine into granular
+    publishing; with a mid-run DMA schedule thrown in (block-mode exits
+    and re-entries), its per-device and per-block attribution must still
+    equal the reference engine's, tally for tally."""
+    from repro.obs.simprofile import SimProfiler
+    from repro.sim.machine import Machine
+
+    config = baseline_sram_config()
+    models = energy_models_for(config)
+
+    def profile_with(engine):
+        machine = Machine(
+            loop_program, config, energy_models=models,
+            schedule=_buffer_schedule(loop_program, trigger_instruction=137,
+                                      unmap_at=1101),
+            engine=engine)
+        profiler = SimProfiler(loop_program).attach(machine.events)
+        machine.run()
+        profiler.detach(machine.events)
+        return profiler.report()
+
+    reference = profile_with("reference")
+    fast = profile_with("fast")
+    assert reference.events == fast.events > 0
+    assert reference.devices == fast.devices
+    assert reference.blocks == fast.blocks
+    # Events carry home addresses, so the buffer stays attributed to its
+    # block throughout — but the device split must show the DSPM serving
+    # it during the mapped phase, proving the schedule was exercised.
+    assert any(name.startswith("dspm") and tally.accesses > 0
+               for name, tally in fast.devices.items())
+    assert fast.blocks["buffer"].accesses > 0
