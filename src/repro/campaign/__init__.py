@@ -15,12 +15,24 @@ quality trial counts:
   shards that exhaust retries are reported failed and the aggregate's
   Wilson confidence intervals widen over the smaller completed n,
 * **statistics** — vulnerability/SDC/DUE rates carry Wilson score
-  intervals, closing the loop against the analytic Fig. 5 values.
+  intervals, closing the loop against the analytic Fig. 5 values,
+* **vectorized evaluation** — the :mod:`~repro.campaign.batch`
+  subsystem classifies a shard's sampled strikes in whole-array NumPy
+  passes (``--injector batch``), reproducing the per-trial evaluator's
+  counts exactly at an order of magnitude more trials per second.
 
 See ``docs/campaigns.md`` for the architecture and the checkpoint
 format, and ``examples/campaign_parallel.py`` for a worked example.
 """
 
+from .batch import (
+    INJECTOR_ENV,
+    INJECTORS,
+    default_injector,
+    effective_injector,
+    resolve_injector,
+    set_default_injector,
+)
 from .checkpoint import RunDirectory
 from .progress import ProgressEvent, ProgressPrinter
 from .runner import (
@@ -40,11 +52,17 @@ __all__ = [
     "ConfidenceInterval",
     "DEFAULT_MAX_RETRIES",
     "DEFAULT_SHARD_SIZE",
+    "INJECTOR_ENV",
+    "INJECTORS",
     "ProgressEvent",
     "ProgressPrinter",
     "RunDirectory",
     "ShardRecord",
     "analytic_vulnerability",
+    "default_injector",
+    "effective_injector",
+    "resolve_injector",
+    "set_default_injector",
     "spawn_seed",
     "spawn_seeds",
     "wilson_interval",

@@ -1,0 +1,112 @@
+"""Closed-form vectorized codec outcome classification.
+
+The per-trial injector encodes a random golden word, applies the flip
+pattern, decodes with the real codec, and compares.  For the linear
+codecs in :mod:`repro.ecc` that whole round trip is data-independent:
+the outcome is a pure function of the flip pattern — its multiplicity
+``m`` and its syndrome ``s`` (the XOR of the struck bit indices, with
+the overall-parity bit at index 0 contributing nothing).  Derivation:
+
+* **Parity** (``ParityCodec(32)``, 33-bit codeword): the decoder only
+  checks overall parity.  Odd ``m`` flips parity -> detected (DUE);
+  even ``m`` preserves it -> silent corruption (SDC).  ``m == 1`` never
+  reaches classification (parity has no single-bit *correction*, but a
+  lone flip still breaks parity, so it is DUE like any odd ``m``).
+* **SEC-DED** (``SecDedCodec(64)``, 72-bit codeword; bit 0 is the
+  overall parity bit, bits 1..71 are Hamming positions): the decoder
+  sees overall parity ``m mod 2`` and Hamming syndrome ``s``.
+
+  - ``m == 1``: single error, corrected -> DRE.
+  - odd ``m >= 3``: parity says "single error"; the decoder corrects
+    position ``s``.  If ``s`` names a real position (``s <= 71``,
+    including ``s == 0`` = "flip the parity bit") the miscorrection is
+    silent -> SDC; an out-of-range ``s`` is impossible to correct ->
+    detected, DUE.
+  - even ``m``: parity is clean; a nonzero syndrome means "double
+    error detected" -> DUE; ``s == 0`` is an undetectable codeword
+    alias -> SDC.
+
+* **Unprotected**: any flip on live data is silent corruption -> SDC.
+
+Every rule is cross-checked class-by-class against the real codecs by
+the hypothesis property tests in ``tests/test_batch_injector.py`` —
+that is what licenses the batch engine to skip the encode/decode loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ecc.codec import ErrorClass
+from .surface import PROT_NONE, PROT_PARITY, PROT_SECDED, _SECDED_BITS
+
+#: class codes used by the vectorized arrays; order matters — results
+#: are aggregated with ``bincount(target * 4 + class)``
+CLASS_NONE = 0
+CLASS_DRE = 1
+CLASS_DUE = 2
+CLASS_SDC = 3
+
+#: array class code -> ErrorClass, in code order
+CLASS_ORDER = (ErrorClass.NONE, ErrorClass.DRE, ErrorClass.DUE,
+               ErrorClass.SDC)
+
+#: highest bit index the SEC-DED decoder can "correct" (syndromes above
+#: this are detected as uncorrectable)
+SECDED_MAX_POSITION = _SECDED_BITS - 1  # 71
+
+
+def classify_strikes(protection, multiplicity, syndrome):
+    """Classify live strikes; returns uint8 class codes.
+
+    ``protection`` holds surface protection codes (``PROT_NONE`` /
+    ``PROT_PARITY`` / ``PROT_SECDED``) — immune and empty strikes never
+    reach classification.  ``multiplicity`` and ``syndrome`` come from
+    the canonical sampler.  Data words are not needed: see the module
+    docstring for why the outcome is data-independent.
+    """
+    protection = np.asarray(protection)
+    multiplicity = np.asarray(multiplicity)
+    syndrome = np.asarray(syndrome)
+
+    odd = (multiplicity & 1).astype(bool)
+    # Unprotected live data defaults to SDC; codec rules overwrite.
+    classes = np.full(protection.shape, CLASS_SDC, dtype=np.uint8)
+
+    parity = protection == PROT_PARITY
+    classes[parity & odd] = CLASS_DUE
+    classes[parity & ~odd] = CLASS_SDC
+
+    secded = protection == PROT_SECDED
+    single = multiplicity == 1
+    classes[secded & single] = CLASS_DRE
+    odd_multi = secded & odd & ~single
+    classes[odd_multi] = np.where(
+        syndrome[odd_multi] > SECDED_MAX_POSITION, CLASS_DUE, CLASS_SDC)
+    even = secded & ~odd
+    classes[even] = np.where(
+        syndrome[even] == 0, CLASS_SDC, CLASS_DUE)
+
+    unknown = ~parity & ~secded & (protection != PROT_NONE)
+    if np.any(unknown):
+        raise ValueError(
+            "cannot classify protection codes %r"
+            % np.unique(protection[unknown]).tolist())
+    return classes
+
+
+def classify_pattern(protection_code_value, bit_positions):
+    """Scalar convenience: classify one flip pattern, returns ErrorClass.
+
+    Used by the property tests to pit the closed-form rules against the
+    real codecs one pattern at a time.
+    """
+    positions = list(bit_positions)
+    syndrome = 0
+    for position in positions:
+        syndrome ^= position
+    codes = classify_strikes(
+        np.array([protection_code_value], dtype=np.uint8),
+        np.array([len(positions)], dtype=np.int64),
+        np.array([syndrome], dtype=np.int64))
+    return CLASS_ORDER[int(codes[0])]

@@ -19,6 +19,7 @@ import json
 import os
 
 from ..errors import CampaignError
+from .seeding import SAMPLING_DISCIPLINE
 from .spec import CampaignSpec
 
 MANIFEST_NAME = "manifest.json"
@@ -63,6 +64,16 @@ class RunDirectory:
                 raise CampaignError(
                     "run directory %r was checkpointed by a different "
                     "campaign (seed/trials/surface changed?)" % self.path)
+            # Shard results are functions of the sampling discipline;
+            # a journal written under an older stream cannot be merged
+            # with shards sampled under the current one.
+            recorded = manifest.get("sampling", SAMPLING_DISCIPLINE)
+            if recorded != SAMPLING_DISCIPLINE:
+                raise CampaignError(
+                    "run directory %r was sampled under discipline %r "
+                    "(current: %r); finish it with the matching release "
+                    "or start a fresh run directory"
+                    % (self.path, recorded, SAMPLING_DISCIPLINE))
             return
         if resume and not os.path.exists(self.path):
             raise CampaignError(
@@ -72,6 +83,7 @@ class RunDirectory:
         manifest = {
             "format": FORMAT_VERSION,
             "fingerprint": spec.fingerprint(),
+            "sampling": SAMPLING_DISCIPLINE,
             "spec": spec.to_manifest(),
         }
         with open(self.manifest_path, "w") as handle:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional
@@ -49,12 +50,17 @@ def _injected_failures():
 
 
 def _execute_shard(spec, index):
-    """Run one shard to a :class:`CampaignResult` (current process)."""
+    """Run one shard to a :class:`CampaignResult` (current process).
+
+    The evaluator choice comes from the process-default injector knob
+    (:mod:`repro.campaign.batch`), which the runner installs — and
+    exports via ``REPRO_INJECTOR`` for pool workers — before shards run.
+    """
     if index in _injected_failures():
         raise CampaignError(
             "injected failure for shard %d (%s)" % (index, FAIL_SHARDS_ENV))
-    campaign = spec.build_campaign(index)
-    return campaign.run(trials=spec.shard_trials(index))
+    evaluator = spec.build_injector(index)
+    return evaluator.run(trials=spec.shard_trials(index))
 
 
 def _shard_worker(spec, index):
@@ -119,6 +125,7 @@ class CampaignSummary:
     jobs: int = 1
     fresh_trials: int = 0
     engine: Optional[str] = None  # engine forced for this run (None = default)
+    injector: Optional[str] = None  # injector forced (None = default)
 
     @property
     def completed_shards(self):
@@ -210,7 +217,7 @@ class CampaignRunner:
 
     def __init__(self, spec, jobs=1, run_dir=None, resume=False,
                  max_retries=DEFAULT_MAX_RETRIES, progress=None,
-                 engine=None):
+                 engine=None, injector=None):
         if jobs < 1:
             raise CampaignError("jobs must be >= 1, got %r" % (jobs,))
         if max_retries < 0:
@@ -220,6 +227,9 @@ class CampaignRunner:
         if engine is not None:
             from ..sim.fastpath import resolve_engine
             resolve_engine(engine)  # reject typos at construction
+        if injector is not None:
+            from .batch import resolve_injector
+            resolve_injector(injector)  # reject typos at construction
         self.spec = spec
         self.jobs = jobs
         self.run_directory = (RunDirectory(run_dir)
@@ -231,26 +241,50 @@ class CampaignRunner:
         #: defers to the process default.  Results are engine-invariant,
         #: so shard journals stay resumable across engine choices.
         self.engine = engine
+        #: shard evaluator (trial/batch/auto); None defers to the
+        #: process default.  Results are injector-invariant by the batch
+        #: equivalence contract, so journals resume across injectors.
+        self.injector = injector
 
     # --- orchestration ----------------------------------------------------------
 
     def run(self):
+        # Install the engine/injector choices as process defaults for
+        # the duration and export them so pool workers (fresh
+        # processes) inherit the choice.
+        with self._installed(self._engine_knob()):
+            with self._installed(self._injector_knob()):
+                return self._run()
+
+    def _engine_knob(self):
         if self.engine is None:
-            return self._run()
-        # Install the engine as the process default for the duration and
-        # export it so pool workers (fresh processes) inherit the choice.
+            return None
         from ..sim.fastpath import ENGINE_ENV, set_default_engine
-        previous = set_default_engine(self.engine)
-        environment_before = os.environ.get(ENGINE_ENV)
-        os.environ[ENGINE_ENV] = self.engine
+        return ENGINE_ENV, set_default_engine, self.engine
+
+    def _injector_knob(self):
+        if self.injector is None:
+            return None
+        from .batch import INJECTOR_ENV, set_default_injector
+        return INJECTOR_ENV, set_default_injector, self.injector
+
+    @contextmanager
+    def _installed(self, knob):
+        if knob is None:
+            yield
+            return
+        env_name, set_default, value = knob
+        previous = set_default(value)
+        environment_before = os.environ.get(env_name)
+        os.environ[env_name] = value
         try:
-            return self._run()
+            yield
         finally:
-            set_default_engine(previous)
+            set_default(previous)
             if environment_before is None:
-                os.environ.pop(ENGINE_ENV, None)
+                os.environ.pop(env_name, None)
             else:
-                os.environ[ENGINE_ENV] = environment_before
+                os.environ[env_name] = environment_before
 
     def _run(self):
         start = time.perf_counter()
@@ -438,6 +472,7 @@ class _RunState:
             jobs=self.runner.jobs,
             fresh_trials=self.fresh_trials,
             engine=self.runner.engine,
+            injector=self.runner.injector,
         )
 
     # --- progress ---------------------------------------------------------------

@@ -12,6 +12,13 @@ from __future__ import annotations
 
 import hashlib
 
+#: identifies the canonical per-shard strike-sampling discipline (the
+#: PCG64 chunked draw order of :mod:`repro.campaign.batch.sampler`).
+#: Bump whenever the stream a shard seed produces changes — cached
+#: measured results keyed on it (e.g. the measured-vulnerability
+#: pipeline artifact) are orphaned instead of silently replayed.
+SAMPLING_DISCIPLINE = "pcg64-chunked-v1"
+
 _DOMAIN = b"repro.campaign.shard"
 
 

@@ -144,17 +144,54 @@ class CampaignSpec:
                 "shard index %r out of range (campaign has %d shards)"
                 % (index, self.shard_count))
 
+    def shard_plan(self):
+        """Per-shard sizing rows: index, trial count, derived seed.
+
+        What ``repro campaign --dry-run`` prints — the complete
+        execution plan, computable without running a single trial.
+        """
+        return [
+            {"shard": index,
+             "trials": self.shard_trials(index),
+             "seed": self.shard_seed(index)}
+            for index in range(self.shard_count)
+        ]
+
     def build_mbu(self):
         if self.mbu_probabilities is None:
             return MbuDistribution.for_node(40)
         return MbuDistribution(self.mbu_probabilities,
                                self.mbu_max_multiplicity)
 
+    def build_injector(self, shard_index, injector=None):
+        """The evaluator for one shard, seeded by the spawning discipline.
+
+        ``injector`` is a :mod:`repro.campaign.batch` knob value
+        (``trial`` / ``batch`` / ``auto``); ``None`` defers to the
+        process default.  Both evaluators consume the identical sampled
+        strike stream, so the choice changes throughput, never counts.
+        Without NumPy the per-trial evaluator falls back to the classic
+        :class:`~repro.faults.InjectionCampaign` stream.
+        """
+        from .batch import effective_injector, numpy_available
+
+        choice = effective_injector(injector)
+        if not numpy_available():
+            if choice == "batch":
+                raise CampaignError(
+                    "injector 'batch' requires NumPy; use "
+                    "--injector trial")
+            return InjectionCampaign.from_targets(
+                self.targets, self.total_spm_bytes,
+                mbu=self.build_mbu(), seed=self.shard_seed(shard_index))
+        from .batch.engine import BatchInjector, TrialInjector
+
+        cls = BatchInjector if choice == "batch" else TrialInjector
+        return cls(self, shard_index)
+
     def build_campaign(self, shard_index):
-        """The injector for one shard, seeded by the spawning discipline."""
-        return InjectionCampaign.from_targets(
-            self.targets, self.total_spm_bytes,
-            mbu=self.build_mbu(), seed=self.shard_seed(shard_index))
+        """The per-trial evaluator for one shard (reference discipline)."""
+        return self.build_injector(shard_index, injector="trial")
 
     # --- identity (manifest / resume validation) --------------------------------
 

@@ -206,8 +206,8 @@ def _cmd_inject(args):
     spec = CampaignSpec.from_entries(
         plan.avf_entries(profile), plan.total_spm_bytes(),
         profile.total_cycles, trials=args.trials, seed=args.seed)
-    summary = CampaignRunner(spec, jobs=args.jobs,
-                             engine=args.engine).run()
+    summary = CampaignRunner(spec, jobs=args.jobs, engine=args.engine,
+                             injector=args.injector).run()
     _print_injection_counts(summary.result)
     interval = summary.interval("harmful")
     print("95%% Wilson CI:    [%.5f, %.5f]" % (interval.low, interval.high))
@@ -216,12 +216,40 @@ def _cmd_inject(args):
     return 0
 
 
+def _print_campaign_plan(args, spec):
+    """--dry-run: the complete shard plan, without running a trial."""
+    from .campaign.batch import effective_injector, numpy_available
+    from .eval.tables import render_table
+    from .sim.fastpath import default_engine
+
+    injector = effective_injector(args.injector)
+    engine = args.engine or default_engine()
+    print("campaign plan: %s on %s" % (args.workload, args.structure))
+    print("trials:       {:,} in {} shard(s) of <= {:,}".format(
+        spec.trials, spec.shard_count, spec.shard_size))
+    print("injector:     %s%s" % (
+        injector, "" if args.injector else " (default)"))
+    print("engine:       %s%s" % (
+        engine, "" if args.engine else " (default)"))
+    print("jobs:         %d" % args.jobs)
+    if numpy_available():
+        from .campaign.batch.surface import StrikeSurface
+        fraction = StrikeSurface.from_spec(spec).fault_free_fraction()
+        print("fault-free:   %.1f%% of strikes fast-forward without "
+              "codec work" % (100.0 * fraction))
+    rows = [[row["shard"], "{:,}".format(row["trials"]),
+             "0x%016x" % row["seed"]] for row in spec.shard_plan()]
+    print(render_table(["Shard", "Trials", "Seed"], rows,
+                       title="shard plan (nothing executed)"))
+
+
 def _cmd_campaign(args):
     from .campaign import (
         CampaignRunner,
         CampaignSpec,
         ProgressPrinter,
         analytic_vulnerability,
+        effective_injector,
     )
 
     if args.resume and not args.out:
@@ -231,10 +259,14 @@ def _cmd_campaign(args):
     spec = CampaignSpec.from_structure(
         profile, args.structure, trials=args.trials, seed=args.seed,
         shard_size=args.shard_size)
+    if args.dry_run:
+        _print_campaign_plan(args, spec)
+        return 0
     progress = None if args.no_progress else ProgressPrinter()
     runner = CampaignRunner(spec, jobs=args.jobs, run_dir=args.out,
                             resume=args.resume, max_retries=args.retries,
-                            progress=progress, engine=args.engine)
+                            progress=progress, engine=args.engine,
+                            injector=args.injector)
     summary = runner.run()
     print(summary.outcome_table())
     print()
@@ -247,6 +279,7 @@ def _cmd_campaign(args):
           % analytic)
     print("CI brackets analytic:   %s"
           % ("yes" if interval.brackets(analytic) else "NO"))
+    print("injector:               %s" % effective_injector(args.injector))
     print("throughput:             {:,.0f} trials/s over {} job(s)".format(
         summary.throughput, args.jobs))
     if not summary.complete:
@@ -287,6 +320,10 @@ def _cmd_trace(args):
 
 
 def _cmd_golden(args):
+    from .campaign.batch.equivalence import (
+        check_campaign_golden,
+        write_campaign_golden,
+    )
     from .sim.diffcheck import check_golden, golden_names, write_golden
 
     names = args.names or None
@@ -299,15 +336,20 @@ def _cmd_golden(args):
     if args.update:
         for path in write_golden(args.dir, names=names):
             print("wrote %s" % path)
+        print("wrote %s" % write_campaign_golden(args.dir, names=names))
         return 0
     problems = check_golden(args.dir, names=names)
+    for key, problem in check_campaign_golden(args.dir,
+                                              names=names).items():
+        problems["campaign:%s" % key] = problem
     checked = names or golden_names()
     if not problems:
-        print("golden corpus OK (%d workload(s) checked)" % len(checked))
+        print("golden corpus OK (%d workload(s) checked, sim + campaign)"
+              % len(checked))
         return 0
     for name, problem in sorted(problems.items()):
         print("%s: %s" % (name, problem))
-    print("golden corpus MISMATCH (%d of %d workload(s))"
+    print("golden corpus MISMATCH (%d problem(s) over %d workload(s))"
           % (len(problems), len(checked)))
     return 1
 
@@ -329,6 +371,14 @@ def _add_engine_argument(parser):
                         help="execution engine (default: auto, or "
                              "REPRO_ENGINE; results are identical, only "
                              "speed differs)")
+
+
+def _add_injector_argument(parser):
+    from .campaign.batch import INJECTORS
+    parser.add_argument("--injector", choices=INJECTORS, default=None,
+                        help="shard evaluator (default: auto, or "
+                             "REPRO_INJECTOR; batch reproduces trial's "
+                             "counts exactly, only speed differs)")
 
 
 def _add_obs_arguments(parser):
@@ -443,6 +493,7 @@ def build_parser():
     p_inject.add_argument("--seed", type=int, default=0xF7F7)
     p_inject.add_argument("--jobs", type=int, default=1,
                           help="worker processes (1 = classic serial path)")
+    _add_injector_argument(p_inject)
     _add_obs_arguments(p_inject)
     p_inject.set_defaults(func=_cmd_inject)
 
@@ -467,6 +518,11 @@ def build_parser():
                                  "recorded as failed")
     p_campaign.add_argument("--no-progress", action="store_true",
                             help="suppress per-shard progress on stderr")
+    p_campaign.add_argument("--dry-run", action="store_true",
+                            help="print the shard plan (shards, trials, "
+                                 "seeds, injector/engine) and exit "
+                                 "without running any trials")
+    _add_injector_argument(p_campaign)
     _add_obs_arguments(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
 

@@ -311,6 +311,11 @@ def _measured_vulnerability(profile, structure, trials, jobs, seed):
     directly comparable to the analytic value in the same row.  The
     interval is a pipeline artifact: deterministic in (profile,
     structure, trials, seed), so a disk-backed context replays it.
+    The key is deliberately injector-free (like the engine-free sim
+    keys): trial and batch evaluators produce identical counts, so the
+    cached interval is valid under either.  The sampler-discipline tag
+    salts the key instead — it changes when the canonical strike stream
+    changes, orphaning intervals measured under the old discipline.
     """
     context = get_context()
 
@@ -322,9 +327,12 @@ def _measured_vulnerability(profile, structure, trials, jobs, seed):
         summary = CampaignRunner(spec, jobs=jobs).run()
         return summary.interval("harmful")
 
+    from ..campaign.seeding import SAMPLING_DISCIPLINE
+
     return context.artifact(
         "measured-vulnerability",
-        (context.profile_key(profile), structure, trials, seed),
+        (context.profile_key(profile), structure, trials, seed,
+         SAMPLING_DISCIPLINE),
         compute)
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Dict
 
 from ..config import Protection
 from ..ecc import ParityCodec, SecDedCodec
@@ -39,7 +40,10 @@ class CampaignResult:
     dre: int = 0
     due: int = 0
     sdc: int = 0
-    by_block: dict = field(default_factory=dict)
+    #: per-block outcome breakdown of every *live* strike; keys are
+    #: block names, values map each ErrorClass to its count
+    by_block: Dict[str, Dict[ErrorClass, int]] = field(
+        default_factory=dict)
 
     @property
     def harmful(self):
@@ -68,8 +72,9 @@ class CampaignResult:
         Counts and the per-block breakdowns sum, so shard results from a
         partitioned campaign compose into the aggregate the equivalent
         single run would have produced.  Merging is associative and
-        commutative on the counts; ``by_block`` key order follows first
-        occurrence, so merge shards in index order for stable output.
+        commutative on the counts, and ``by_block`` comes out in sorted
+        key order regardless of operand order — checkpoint journals and
+        reports are byte-stable no matter which shard finished first.
         """
         if not isinstance(other, CampaignResult):
             raise FaultInjectionError(
@@ -77,12 +82,13 @@ class CampaignResult:
         merged = CampaignResult(**{
             name: getattr(self, name) + getattr(other, name)
             for name in self._COUNT_FIELDS})
-        for source in (self, other):
-            for block, counts in source.by_block.items():
-                into = merged.by_block.setdefault(
-                    block, {klass: 0 for klass in ErrorClass})
-                for klass, count in counts.items():
-                    into[klass] += count
+        for block in sorted(set(self.by_block) | set(other.by_block)):
+            counts = {klass: 0 for klass in ErrorClass}
+            for source in (self, other):
+                for klass, count in source.by_block.get(block,
+                                                        {}).items():
+                    counts[klass] += count
+            merged.by_block[block] = counts
         return merged
 
     def __add__(self, other):
@@ -98,21 +104,28 @@ class CampaignResult:
     # --- serialization (campaign checkpoints) ----------------------------------
 
     def to_dict(self):
-        """Plain-JSON form: enum keys become their string values."""
+        """Plain-JSON form: enum keys become their string values.
+
+        Blocks are emitted in sorted name order so serialized results —
+        checkpoint journals, golden corpus entries, digests — are
+        byte-stable regardless of strike or merge order.
+        """
         payload = {name: getattr(self, name) for name in self._COUNT_FIELDS}
         payload["by_block"] = {
-            block: {klass.value: count for klass, count in counts.items()}
-            for block, counts in self.by_block.items()}
+            block: {klass.value: count
+                    for klass, count in self.by_block[block].items()}
+            for block in sorted(self.by_block)}
         return payload
 
     @classmethod
     def from_dict(cls, payload):
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (blocks restored in sorted order)."""
         result = cls(**{name: int(payload.get(name, 0))
                         for name in cls._COUNT_FIELDS})
-        for block, counts in payload.get("by_block", {}).items():
+        by_block = payload.get("by_block", {})
+        for block in sorted(by_block):
             result.by_block[block] = {
-                klass: int(counts.get(klass.value, 0))
+                klass: int(by_block[block].get(klass.value, 0))
                 for klass in ErrorClass}
         return result
 

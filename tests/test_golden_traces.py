@@ -23,7 +23,11 @@ GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
 
 def test_corpus_is_complete():
+    from repro.campaign.batch.equivalence import CAMPAIGN_GOLDEN_FILENAME
+
     expected = {golden_filename(name) for name in golden_names()}
+    # the campaign-equivalence corpus shares the directory
+    expected.add(CAMPAIGN_GOLDEN_FILENAME)
     present = {entry for entry in os.listdir(GOLDEN_DIR)
                if entry.endswith(".json")}
     assert present == expected
