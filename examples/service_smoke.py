@@ -1,0 +1,122 @@
+"""CI smoke test for the job service, end to end over real HTTP.
+
+Boots ``repro serve`` as a subprocess on an ephemeral port, submits a
+mapping job plus two *identical* campaign jobs concurrently, and then
+asserts the contract the service exists for:
+
+* every job completes with a readable result,
+* the second identical campaign coalesces onto the first (verified
+  two ways: both report the same counts, and the server's
+  ``service_coalesce_total`` counter moved),
+* ``GET /metrics`` is valid Prometheus text exposition,
+* SIGTERM drains gracefully and the process exits 0.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python examples/service_smoke.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+CAMPAIGN = dict(workload="qsort", trials=2_000, shard_size=500)
+
+LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{%s(,%s)*\})? '
+    r'[-+]?(\d+\.?\d*([eE][-+]?\d+)?|inf|nan)$' % (LABEL, LABEL))
+
+
+def start_server():
+    env = dict(os.environ, PYTHONPATH="src")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    line = server.stdout.readline()
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+    assert match, "server did not announce a port: %r" % line
+    return server, int(match.group(1))
+
+
+def coalesce_count(metrics_text):
+    total = 0
+    for line in metrics_text.splitlines():
+        if line.startswith("service_coalesce_total"):
+            total += int(float(line.rsplit(" ", 1)[1]))
+    return total
+
+
+def main():
+    server, port = start_server()
+    client = ServiceClient(port=port, timeout=300)
+    try:
+        assert client.health()["status"] == "ok"
+        before = coalesce_count(client.metrics())
+
+        # one mapping + two identical campaigns, all in flight at once
+        statuses = {}
+
+        def submit(name, kind, params):
+            statuses[name] = client.submit(kind, **params)
+
+        threads = [
+            threading.Thread(target=submit,
+                             args=("map", "mapping",
+                                   dict(workload="case"))),
+            threading.Thread(target=submit,
+                             args=("c1", "campaign", CAMPAIGN)),
+            threading.Thread(target=submit,
+                             args=("c2", "campaign", CAMPAIGN)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        results = {}
+        for name, status in statuses.items():
+            final = client.wait(status["id"], timeout=300)
+            assert final["state"] == "done", (name, final)
+            results[name] = client.result(status["id"])["result"]
+
+        assert "table" in results["map"]
+        assert results["c1"]["counts"] == results["c2"]["counts"]
+        assert results["c1"]["complete"]
+
+        metrics = client.metrics()
+        after = coalesce_count(metrics)
+        assert after > before, (
+            "identical campaign did not coalesce (%d -> %d)"
+            % (before, after))
+
+        samples = 0
+        for line in metrics.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert SAMPLE.match(line), "bad exposition line: %r" % line
+            samples += 1
+        assert samples > 10, "suspiciously empty /metrics"
+
+        print("smoke: %d jobs done, coalesce counter %d -> %d, "
+              "%d metric samples parsed" % (len(results), before,
+                                            after, samples))
+    finally:
+        server.send_signal(signal.SIGTERM)
+        code = server.wait(timeout=60)
+        tail = server.stdout.read()
+    assert code == 0, "server exited %r\n%s" % (code, tail)
+    print("smoke: server drained and exited cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,12 +34,20 @@ from .batch import (
     set_default_injector,
 )
 from .checkpoint import RunDirectory
+from .executor import execute_shard, shard_worker
 from .progress import ProgressEvent, ProgressPrinter
 from .runner import (
     DEFAULT_MAX_RETRIES,
     CampaignRunner,
     CampaignSummary,
     ShardRecord,
+)
+from .scheduler import (
+    SchedulerClosed,
+    ShardJob,
+    ShardListener,
+    ShardScheduler,
+    drain_on_signals,
 )
 from .seeding import spawn_seed, spawn_seeds
 from .spec import DEFAULT_SHARD_SIZE, CampaignSpec, analytic_vulnerability
@@ -57,12 +65,19 @@ __all__ = [
     "ProgressEvent",
     "ProgressPrinter",
     "RunDirectory",
+    "SchedulerClosed",
+    "ShardJob",
+    "ShardListener",
     "ShardRecord",
+    "ShardScheduler",
     "analytic_vulnerability",
     "default_injector",
+    "drain_on_signals",
     "effective_injector",
+    "execute_shard",
     "resolve_injector",
     "set_default_injector",
+    "shard_worker",
     "spawn_seed",
     "spawn_seeds",
     "wilson_interval",

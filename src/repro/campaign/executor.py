@@ -1,0 +1,82 @@
+"""Shard execution, decoupled from pool ownership.
+
+This module is the only code a worker process runs: given a picklable
+:class:`~repro.campaign.spec.CampaignSpec` and a shard index, execute
+that shard's trials and return the serialized result.  Everything else
+— which pool the work lands on, stealing, retries, checkpoints — lives
+in the scheduler and runner layers, so the same entry point serves the
+classic ``repro campaign`` CLI and the long-lived job service.
+
+Execution knobs (engine/injector) are passed *per task* and installed
+around the shard, because a persistent pool's workers outlive any one
+job: two concurrent jobs with different knobs must not bleed defaults
+into each other.  Results are knob-invariant by the differential and
+batch-equivalence contracts, so the knobs change throughput only.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..errors import CampaignError
+
+#: Internal test hook: comma-separated shard indices that always fail.
+FAIL_SHARDS_ENV = "REPRO_CAMPAIGN_FAIL_SHARDS"
+
+#: Internal test hook: comma-separated shard indices whose worker
+#: process dies outright (``os._exit``) the first time each is
+#: attempted.  Requires :data:`KILL_MARKER_ENV` to point at a writable
+#: directory; the marker file makes the death happen exactly once, so
+#: the retry path is exercised deterministically.
+KILL_SHARDS_ENV = "REPRO_CAMPAIGN_KILL_SHARDS"
+KILL_MARKER_ENV = "REPRO_CAMPAIGN_KILL_MARKER_DIR"
+
+
+def _indices_from_env(name):
+    value = os.environ.get(name, "")
+    return {int(item) for item in value.split(",") if item.strip()}
+
+
+def _injected_failures():
+    return _indices_from_env(FAIL_SHARDS_ENV)
+
+
+def _maybe_die(index):
+    if index not in _indices_from_env(KILL_SHARDS_ENV):
+        return
+    marker_dir = os.environ.get(KILL_MARKER_ENV)
+    if not marker_dir:
+        return
+    marker = os.path.join(marker_dir, "killed-%d" % index)
+    if os.path.exists(marker):
+        return  # already died once; let the retry succeed
+    with open(marker, "w") as handle:
+        handle.write("shard %d\n" % index)
+    os._exit(1)  # simulate an OOM-kill/segfault: no cleanup, no excuse
+
+
+def execute_shard(spec, index, engine=None, injector=None):
+    """Run one shard to a :class:`CampaignResult` in this process.
+
+    ``engine``/``injector`` are installed as scoped process defaults
+    for the duration of the shard (``None`` defers to whatever the
+    process already defaults to).
+    """
+    from ..config import engine_knob, injector_knob
+
+    if index in _injected_failures():
+        raise CampaignError(
+            "injected failure for shard %d (%s)" % (index, FAIL_SHARDS_ENV))
+    _maybe_die(index)
+    with engine_knob().installed(engine):
+        with injector_knob().installed(injector):
+            evaluator = spec.build_injector(index, injector=injector)
+            return evaluator.run(trials=spec.shard_trials(index))
+
+
+def shard_worker(spec, index, engine=None, injector=None):
+    """Pool entry point: returns ``(index, result_dict, elapsed)``."""
+    start = time.perf_counter()
+    result = execute_shard(spec, index, engine=engine, injector=injector)
+    return index, result.to_dict(), time.perf_counter() - start

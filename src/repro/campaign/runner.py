@@ -1,11 +1,18 @@
 """Parallel, resumable execution of sharded injection campaigns.
 
-The runner splits a campaign's trial budget into fixed-size shards, runs
-them on a ``multiprocessing`` worker pool (or in-process when
-``jobs=1``), and merges the shard results in index order.  Because every
-shard's RNG seed derives only from the campaign seed and the shard index
-(see :mod:`repro.campaign.seeding`), the merged aggregate is identical
-for any worker count and any completion order.
+The runner splits a campaign's trial budget into fixed-size shards,
+dispatches them through a work-stealing
+:class:`~repro.campaign.scheduler.ShardScheduler` (or in-process when
+``jobs=1``), and merges the shard results in index order.  Because
+every shard's RNG seed derives only from the campaign seed and the
+shard index (see :mod:`repro.campaign.seeding`), the merged aggregate
+is identical for any worker count and any completion order.
+
+Pool ownership is decoupled from shard execution: by default the
+runner spins up a private scheduler for the one run (the classic CLI
+behavior), but a long-lived caller — the job service — passes a shared
+``scheduler=`` and many concurrent campaigns then ride one persistent
+worker-process pool, stealing each other's idle slots.
 
 Fault tolerance: a shard whose worker raises — or whose worker process
 dies outright, breaking the pool — is retried up to ``max_retries``
@@ -14,24 +21,28 @@ trials exactly); after that it is recorded as failed and the campaign
 reports partial results, whose confidence intervals widen accordingly.
 With a run directory attached, every finished shard is checkpointed
 durably, so a killed campaign resumes without redoing completed work.
+:meth:`CampaignRunner.request_drain` (wired to SIGTERM/SIGINT by the
+CLI) stops cleanly instead: in-flight shards finish and checkpoint,
+pending ones are left for a later ``--resume``.
 """
 
 from __future__ import annotations
 
-import os
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from contextlib import contextmanager
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .. import obs
+from ..config import engine_knob, injector_knob
 from ..errors import CampaignError
 from ..eval.tables import render_table
 from ..faults.injector import CampaignResult
 from .checkpoint import RunDirectory
+from .executor import FAIL_SHARDS_ENV  # noqa: F401  (re-export: test hook)
+from .executor import execute_shard as _execute_shard
 from .progress import ProgressEvent, progress_to_metrics
+from .scheduler import ShardListener, ShardScheduler
 from .stats import wilson_interval
 
 #: synthetic Chrome-trace lane base so overlapping shard spans render on
@@ -39,35 +50,6 @@ from .stats import wilson_interval
 _SHARD_LANE_BASE = 10_000
 
 DEFAULT_MAX_RETRIES = 2
-
-#: Internal test hook: comma-separated shard indices that always fail.
-FAIL_SHARDS_ENV = "REPRO_CAMPAIGN_FAIL_SHARDS"
-
-
-def _injected_failures():
-    value = os.environ.get(FAIL_SHARDS_ENV, "")
-    return {int(item) for item in value.split(",") if item.strip()}
-
-
-def _execute_shard(spec, index):
-    """Run one shard to a :class:`CampaignResult` (current process).
-
-    The evaluator choice comes from the process-default injector knob
-    (:mod:`repro.campaign.batch`), which the runner installs — and
-    exports via ``REPRO_INJECTOR`` for pool workers — before shards run.
-    """
-    if index in _injected_failures():
-        raise CampaignError(
-            "injected failure for shard %d (%s)" % (index, FAIL_SHARDS_ENV))
-    evaluator = spec.build_injector(index)
-    return evaluator.run(trials=spec.shard_trials(index))
-
-
-def _shard_worker(spec, index):
-    """Pool entry point: returns (index, result_dict, elapsed_seconds)."""
-    start = time.perf_counter()
-    result = _execute_shard(spec, index)
-    return index, result.to_dict(), time.perf_counter() - start
 
 
 @dataclass
@@ -126,6 +108,7 @@ class CampaignSummary:
     fresh_trials: int = 0
     engine: Optional[str] = None  # engine forced for this run (None = default)
     injector: Optional[str] = None  # injector forced (None = default)
+    drained: bool = False  # stopped early by a graceful drain
 
     @property
     def completed_shards(self):
@@ -217,19 +200,13 @@ class CampaignRunner:
 
     def __init__(self, spec, jobs=1, run_dir=None, resume=False,
                  max_retries=DEFAULT_MAX_RETRIES, progress=None,
-                 engine=None, injector=None):
+                 engine=None, injector=None, scheduler=None):
         if jobs < 1:
             raise CampaignError("jobs must be >= 1, got %r" % (jobs,))
         if max_retries < 0:
             raise CampaignError("max_retries must be >= 0")
         if resume and run_dir is None:
             raise CampaignError("resume requires a run directory")
-        if engine is not None:
-            from ..sim.fastpath import resolve_engine
-            resolve_engine(engine)  # reject typos at construction
-        if injector is not None:
-            from .batch import resolve_injector
-            resolve_injector(injector)  # reject typos at construction
         self.spec = spec
         self.jobs = jobs
         self.run_directory = (RunDirectory(run_dir)
@@ -240,51 +217,45 @@ class CampaignRunner:
         #: execution engine for any simulation the shards perform; None
         #: defers to the process default.  Results are engine-invariant,
         #: so shard journals stay resumable across engine choices.
-        self.engine = engine
+        self.engine = engine_knob().resolve(engine)
         #: shard evaluator (trial/batch/auto); None defers to the
         #: process default.  Results are injector-invariant by the batch
         #: equivalence contract, so journals resume across injectors.
-        self.injector = injector
+        self.injector = injector_knob().resolve(injector)
+        #: shared work-stealing scheduler; None means this run owns a
+        #: private one (built only when ``jobs > 1``).  With a shared
+        #: scheduler the shards always go through its persistent pool,
+        #: whatever ``jobs`` says — pool sizing belongs to the owner.
+        self.scheduler = scheduler
+        self._drain_requested = threading.Event()
+        self._active_job = None
+
+    # --- graceful drain ---------------------------------------------------------
+
+    def request_drain(self):
+        """Stop after the shards already in flight; checkpoint them.
+
+        Safe from any thread and from signal handlers.  The serial
+        path checks the flag between shards; the scheduler path drops
+        this run's pending shards.  ``run()`` then returns a partial
+        summary (``summary.drained``) that a later ``resume=True``
+        completes without redoing finished work.
+        """
+        self._drain_requested.set()
+        job = self._active_job
+        if job is not None:
+            job.drop_pending()
 
     # --- orchestration ----------------------------------------------------------
 
     def run(self):
         # Install the engine/injector choices as process defaults for
-        # the duration and export them so pool workers (fresh
-        # processes) inherit the choice.
-        with self._installed(self._engine_knob()):
-            with self._installed(self._injector_knob()):
+        # the duration and export them so any fresh worker processes
+        # inherit the choice (scheduler workers additionally receive
+        # them per task, because persistent workers outlive this run).
+        with engine_knob().installed(self.engine):
+            with injector_knob().installed(self.injector):
                 return self._run()
-
-    def _engine_knob(self):
-        if self.engine is None:
-            return None
-        from ..sim.fastpath import ENGINE_ENV, set_default_engine
-        return ENGINE_ENV, set_default_engine, self.engine
-
-    def _injector_knob(self):
-        if self.injector is None:
-            return None
-        from .batch import INJECTOR_ENV, set_default_injector
-        return INJECTOR_ENV, set_default_injector, self.injector
-
-    @contextmanager
-    def _installed(self, knob):
-        if knob is None:
-            yield
-            return
-        env_name, set_default, value = knob
-        previous = set_default(value)
-        environment_before = os.environ.get(env_name)
-        os.environ[env_name] = value
-        try:
-            yield
-        finally:
-            set_default(previous)
-            if environment_before is None:
-                os.environ.pop(env_name, None)
-            else:
-                os.environ[env_name] = environment_before
 
     def _run(self):
         start = time.perf_counter()
@@ -304,10 +275,10 @@ class CampaignRunner:
                 "resumed_shards": len(records)}) as run_span:
             state.notify("start")
             if pending:
-                if self.jobs == 1:
+                if self.jobs == 1 and self.scheduler is None:
                     self._run_serial(pending, state)
                 else:
-                    self._run_pool(pending, state)
+                    self._run_scheduled(pending, state)
             summary = state.summary()
             state.notify("done")
             run_span.set_attr("trials_completed",
@@ -318,6 +289,9 @@ class CampaignRunner:
 
     def _run_serial(self, pending, state):
         for index in pending:
+            if self._drain_requested.is_set():
+                state.drained = True
+                return
             attempts = 0
             while True:
                 attempts += 1
@@ -333,65 +307,56 @@ class CampaignRunner:
                         time.perf_counter() - shard_start)
                     break
 
-    def _run_pool(self, pending, state):
-        attempts = {index: 0 for index in pending}
-        remaining = set(pending)
-        while remaining:
-            try:
-                self._pool_round(remaining, attempts, state)
-            except BrokenProcessPool:
-                # A worker process died (OOM-kill, segfault, SIGKILL).
-                # Everything still in flight counts one attempt and goes
-                # back through the retry gate; the pool is rebuilt.
-                for index in sorted(remaining):
-                    attempts[index] += 1
-                    if not self._may_retry(attempts[index]):
-                        state.note_failure(
-                            index, attempts[index],
-                            CampaignError("worker process died"),
-                            final=True)
-                        remaining.discard(index)
-
-    def _pool_round(self, remaining, attempts, state):
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {pool.submit(_shard_worker, self.spec, index): index
-                       for index in sorted(remaining)}
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done,
-                                      return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures[future]
-                    try:
-                        _, result_dict, elapsed = future.result()
-                    except BrokenProcessPool:
-                        raise
-                    except Exception as error:
-                        attempts[index] += 1
-                        if self._may_retry(attempts[index]):
-                            state.notify("shard-retry", shard=index,
-                                         attempt=attempts[index],
-                                         error=str(error))
-                            retry = pool.submit(
-                                _shard_worker, self.spec, index)
-                            futures[retry] = index
-                            not_done.add(retry)
-                        else:
-                            state.note_failure(index, attempts[index],
-                                               error, final=True)
-                            remaining.discard(index)
-                    else:
-                        attempts[index] += 1
-                        state.note_success(index, attempts[index],
-                                           result_dict, elapsed)
-                        remaining.discard(index)
+    def _run_scheduled(self, pending, state):
+        scheduler = self.scheduler
+        private = scheduler is None
+        if private:
+            scheduler = ShardScheduler(workers=self.jobs)
+        try:
+            job = scheduler.submit(
+                self.spec, indices=pending, max_retries=self.max_retries,
+                engine=self.engine, injector=self.injector,
+                listener=_RunnerListener(state))
+            self._active_job = job
+            if self._drain_requested.is_set():
+                job.drop_pending()  # the drain raced the submit
+            job.wait()
+            if job.drained:
+                state.drained = True
+        finally:
+            self._active_job = None
+            if private:
+                scheduler.close()
 
     def _may_retry(self, attempts_made):
         return attempts_made <= self.max_retries
 
 
+class _RunnerListener(ShardListener):
+    """Bridges scheduler shard outcomes into the runner's bookkeeping.
+
+    The scheduler serializes one job's callbacks under its lock, so
+    the state mutation (records, checkpoint appends, progress events)
+    needs no extra synchronization here.
+    """
+
+    def __init__(self, state):
+        self.state = state
+
+    def shard_ok(self, index, attempts, result_dict, elapsed):
+        self.state.note_success(index, attempts, result_dict, elapsed)
+
+    def shard_retry(self, index, attempt, error):
+        self.state.notify("shard-retry", shard=index, attempt=attempt,
+                          error=error)
+
+    def shard_failed(self, index, attempts, error):
+        self.state.note_failure(index, attempts,
+                                CampaignError(error), final=True)
+
+
 class _RunState:
-    """Mutable bookkeeping shared by the serial and pool paths."""
+    """Mutable bookkeeping shared by the serial and scheduled paths."""
 
     def __init__(self, runner, records, start):
         self.runner = runner
@@ -399,6 +364,7 @@ class _RunState:
         self.records = records  # {index: ShardRecord}
         self.start = start
         self.fresh_trials = 0
+        self.drained = False
 
     # --- shard outcomes ---------------------------------------------------------
 
@@ -473,6 +439,7 @@ class _RunState:
             fresh_trials=self.fresh_trials,
             engine=self.runner.engine,
             injector=self.runner.injector,
+            drained=self.drained,
         )
 
     # --- progress ---------------------------------------------------------------

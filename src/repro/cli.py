@@ -8,6 +8,8 @@ Subcommands::
     ftspm run WORKLOAD [--structure S]         full simulation + metrics
     ftspm inject WORKLOAD [--trials N]         Monte-Carlo fault injection
     ftspm campaign WORKLOAD [--jobs N]         parallel, resumable campaign
+    ftspm serve [--port P] [--workers N]       async HTTP job service
+    ftspm submit KIND WORKLOAD [--param k=v]   submit a job to 'serve'
     ftspm lint TARGET [...]                    static diagnostics (CI gate)
     ftspm disasm WORKLOAD                      disassemble a workload
     ftspm list                                 available workloads/experiments
@@ -23,7 +25,7 @@ import os
 import sys
 
 from . import obs
-from .config import preset
+from .config import engine_knob, injector_knob, preset
 from .core.online import build_machine
 from .core.priorities import OptimizationMode, thresholds_for_mode
 from .errors import ReproError
@@ -249,6 +251,7 @@ def _cmd_campaign(args):
         CampaignSpec,
         ProgressPrinter,
         analytic_vulnerability,
+        drain_on_signals,
         effective_injector,
     )
 
@@ -267,7 +270,10 @@ def _cmd_campaign(args):
                             resume=args.resume, max_retries=args.retries,
                             progress=progress, engine=args.engine,
                             injector=args.injector)
-    summary = runner.run()
+    # First SIGINT/SIGTERM drains gracefully (in-flight shards finish
+    # and checkpoint; pending ones stay resumable); a second one kills.
+    with drain_on_signals(runner):
+        summary = runner.run()
     print(summary.outcome_table())
     print()
     print(summary.shard_table())
@@ -282,11 +288,82 @@ def _cmd_campaign(args):
     print("injector:               %s" % effective_injector(args.injector))
     print("throughput:             {:,.0f} trials/s over {} job(s)".format(
         summary.throughput, args.jobs))
+    if summary.drained:
+        print("NOTE: campaign drained on signal after {:,} trials; "
+              "rerun with --out/--resume to finish the rest".format(
+                  summary.trials_completed))
     if not summary.complete:
         print("WARNING: campaign incomplete ({:,}/{:,} trials); "
               "intervals are widened".format(
                   summary.trials_completed, summary.trials_requested))
     return 0
+
+
+def _cmd_serve(args):
+    import asyncio
+
+    from .service import ReproService
+
+    service = ReproService(host=args.host, port=args.port,
+                           workers=args.workers,
+                           job_threads=args.job_threads,
+                           cache_dir=args.cache_dir, engine=args.engine,
+                           injector=args.injector)
+
+    def announce():
+        print("serving on %s (workers=%d, cache=%s)"
+              % (service.url, args.workers, args.cache_dir or "memory"),
+              flush=True)
+
+    asyncio.run(service.run_until_signalled(on_ready=announce))
+    print("drained; bye")
+    return 0
+
+
+def _parse_submit_params(pairs):
+    """``key=value`` pairs -> params dict (values parsed as JSON when
+    they look like numbers/booleans, kept as strings otherwise)."""
+    import json
+    params = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(
+                "bad --param %r (expected key=value)" % pair)
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _cmd_submit(args):
+    import json
+
+    from .service.client import ServiceClient, ServiceError
+
+    params = _parse_submit_params(args.param)
+    params["workload"] = args.workload
+    for knob in (engine_knob(), injector_knob()):
+        value = getattr(args, knob.name, None)
+        if value is not None:
+            params[knob.name] = value
+    client = ServiceClient(host=args.host, port=args.port,
+                           timeout=args.timeout)
+    try:
+        status = client.submit(args.kind, **params)
+        if args.no_wait:
+            print(json.dumps(status, indent=1, sort_keys=True))
+            return 0
+        final = client.wait(status["id"], timeout=args.timeout)
+        payload = client.result(status["id"])
+    except ServiceError as error:
+        raise ReproError(str(error)) from None
+    except (ConnectionError, OSError) as error:
+        raise ReproError("cannot reach %s:%d: %s"
+                         % (args.host, args.port, error)) from None
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    return 0 if final["state"] == "done" else 1
 
 
 def _cmd_trace(args):
@@ -366,19 +443,11 @@ def _cmd_disasm(args):
 
 
 def _add_engine_argument(parser):
-    from .sim.fastpath import ENGINES
-    parser.add_argument("--engine", choices=ENGINES, default=None,
-                        help="execution engine (default: auto, or "
-                             "REPRO_ENGINE; results are identical, only "
-                             "speed differs)")
+    engine_knob().add_argument(parser)
 
 
 def _add_injector_argument(parser):
-    from .campaign.batch import INJECTORS
-    parser.add_argument("--injector", choices=INJECTORS, default=None,
-                        help="shard evaluator (default: auto, or "
-                             "REPRO_INJECTOR; batch reproduces trial's "
-                             "counts exactly, only speed differs)")
+    injector_knob().add_argument(parser)
 
 
 def _add_obs_arguments(parser):
@@ -526,6 +595,47 @@ def build_parser():
     _add_obs_arguments(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve mapping/campaign/lint/profile jobs over HTTP")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="persistent campaign worker processes "
+                              "shared by all jobs")
+    p_serve.add_argument("--job-threads", type=int, default=8,
+                         help="concurrent jobs (thread executor size)")
+    p_serve.add_argument("--cache-dir", metavar="PATH",
+                         help="artifact store: results persist here and "
+                              "identical jobs are served from it, even "
+                              "across restarts")
+    _add_engine_argument(p_serve)
+    _add_injector_argument(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running 'serve' instance")
+    p_submit.add_argument("kind",
+                          choices=("mapping", "campaign", "lint",
+                                   "profile"))
+    p_submit.add_argument("workload")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8787)
+    p_submit.add_argument("--param", action="append", default=[],
+                          metavar="KEY=VALUE",
+                          help="job parameter (repeatable), e.g. "
+                               "--param trials=50000 --param "
+                               "structure=ftspm")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the submission status and exit "
+                               "instead of polling for the result")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for completion")
+    _add_engine_argument(p_submit)
+    _add_injector_argument(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
     p_disasm = sub.add_parser("disasm", help="disassemble a workload")
     _add_workload_arguments(p_disasm)
     p_disasm.set_defaults(func=_cmd_disasm)
@@ -553,8 +663,7 @@ def main(argv=None):
         obs.enable()
     try:
         if getattr(args, "engine", None):
-            from .sim.fastpath import set_default_engine
-            set_default_engine(args.engine)
+            engine_knob().set_default(args.engine)
         return args.func(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)

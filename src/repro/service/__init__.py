@@ -1,0 +1,46 @@
+"""The async campaign/mapping job service.
+
+``repro.service`` turns the batch CLI into a traffic-serving system:
+an asyncio HTTP API (stdlib only) accepts mapping, campaign, lint, and
+profile jobs, runs the cheap analytic ones on a thread executor over
+one shared :class:`~repro.pipeline.context.EvaluationContext`, and
+dispatches campaign shards through one persistent work-stealing
+:class:`~repro.campaign.scheduler.ShardScheduler` pool shared by every
+concurrent job.
+
+Identical requests never compute twice: each job is keyed by the same
+SHA-256 content-hash discipline as pipeline artifacts, an in-flight
+job with the same key absorbs new submissions
+(:class:`~repro.service.coalesce.Coalescer`), and completed results
+are served straight from the artifact store — including across server
+restarts when a ``--cache-dir`` store is attached.
+
+HTTP surface (see ``docs/service.md``)::
+
+    POST /v1/jobs             submit {"kind": ..., "params": {...}}
+    GET  /v1/jobs             list jobs
+    GET  /v1/jobs/{id}        status + progress
+    GET  /v1/jobs/{id}/result result payload (409 until done)
+    GET  /metrics             Prometheus text exposition
+    GET  /healthz             liveness + drain state
+"""
+
+from .app import ReproService
+from .client import ServiceClient, ServiceError
+from .coalesce import Coalescer
+from .http import HttpError, HttpRequest, HttpResponse, HttpServer
+from .jobs import Job, JobRegistry, JobState
+
+__all__ = [
+    "Coalescer",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "Job",
+    "JobRegistry",
+    "JobState",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,100 @@
+"""Blocking client for the job service, over stdlib ``http.client``.
+
+The CLI's ``repro submit`` and the test/CI harnesses all talk to the
+server through this thin wrapper: one request per call, JSON in and
+out, and a :meth:`ServiceClient.wait` helper that polls a job to
+completion.  Errors the server reports as ``{"error": ...}`` payloads
+surface as :class:`ServiceError` with the HTTP status attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+
+class ServiceError(Exception):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status, message):
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one ``ReproService`` instance at ``host:port``."""
+
+    def __init__(self, host="127.0.0.1", port=8787, timeout=60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # --- transport --------------------------------------------------------------
+
+    def _request(self, method, path, payload=None):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        content = raw.decode("utf-8", errors="replace")
+        if status >= 400:
+            message = content.strip()
+            try:
+                message = json.loads(content).get("error", message)
+            except ValueError:
+                pass
+            raise ServiceError(status, message)
+        return status, content
+
+    def _json(self, method, path, payload=None):
+        _status, content = self._request(method, path, payload)
+        return json.loads(content)
+
+    # --- API --------------------------------------------------------------------
+
+    def submit(self, kind, **params):
+        """Submit a job; returns the status payload (with ``id``)."""
+        return self._json("POST", "/v1/jobs",
+                          {"kind": kind, "params": params})
+
+    def jobs(self):
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id):
+        return self._json("GET", "/v1/jobs/%s" % job_id)
+
+    def result(self, job_id):
+        return self._json("GET", "/v1/jobs/%s/result" % job_id)
+
+    def metrics(self):
+        """The raw Prometheus text exposition."""
+        _status, content = self._request("GET", "/metrics")
+        return content
+
+    def health(self):
+        return self._json("GET", "/healthz")
+
+    def wait(self, job_id, timeout=300.0, interval=0.05):
+        """Poll ``job_id`` until done/failed; returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "job %s still %s after %.1fs"
+                    % (job_id, status["state"], timeout))
+            time.sleep(interval)

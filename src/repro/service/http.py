@@ -1,0 +1,187 @@
+"""A minimal asyncio HTTP/1.1 server over stdlib streams.
+
+No framework, no dependency: requests are parsed straight off an
+``asyncio`` stream reader, dispatched to one async handler, and
+answered with ``Connection: close`` semantics (one exchange per
+connection keeps the parser honest and is plenty for a job-submission
+API whose work dwarfs connection setup).  The handler receives an
+:class:`HttpRequest` and returns an :class:`HttpResponse`; raising
+:class:`HttpError` short-circuits into a JSON error payload with that
+status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 65536
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Raise inside a handler to answer with a specific status."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: dict
+    headers: dict  # lower-cased names
+    body: bytes
+
+    def json(self):
+        """Decode the body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HttpError(400, "invalid JSON body: %s" % error) from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+@dataclass
+class HttpResponse:
+    """One response; :meth:`json` and :meth:`text` build common cases."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload, status=200):
+        body = (json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        return cls(status=status, body=body.encode("utf-8"))
+
+    @classmethod
+    def text(cls, text, status=200,
+             content_type="text/plain; version=0.0.4; charset=utf-8"):
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type=content_type)
+
+    def encode(self):
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = ["HTTP/1.1 %d %s" % (self.status, reason),
+                 "Content-Type: %s" % self.content_type,
+                 "Content-Length: %d" % len(self.body),
+                 "Connection: close"]
+        for name, value in self.headers.items():
+            lines.append("%s: %s" % (name, value))
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + self.body
+
+
+async def read_request(reader):
+    """Parse one request off ``reader``; None on a closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    if len(request_line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    try:
+        method, target, _version = (
+            request_line.decode("latin-1").strip().split(" ", 2))
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    headers = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(400, "headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "bad Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, "body exceeds %d bytes" % MAX_BODY_BYTES)
+    body = await reader.readexactly(length) if length else b""
+    parts = urlsplit(target)
+    query = {name: values[-1]
+             for name, values in parse_qs(parts.query).items()}
+    return HttpRequest(method=method.upper(), path=unquote(parts.path),
+                       query=query, headers=headers, body=body)
+
+
+class HttpServer:
+    """Bind, accept, parse, dispatch — the whole server."""
+
+    def __init__(self, handler, host="127.0.0.1", port=0):
+        self.handler = handler
+        self.host = host
+        self.port = port  # updated to the bound port after start()
+        self._server = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _serve_connection(self, reader, writer):
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as error:
+                response = HttpResponse.json(
+                    {"error": error.message}, status=error.status)
+            except asyncio.IncompleteReadError:
+                return
+            else:
+                if request is None:
+                    return
+                try:
+                    response = await self.handler(request)
+                except HttpError as error:
+                    response = HttpResponse.json(
+                        {"error": error.message}, status=error.status)
+                except Exception as error:  # never drop the connection
+                    response = HttpResponse.json(
+                        {"error": "internal error: %s" % error},
+                        status=500)
+            writer.write(response.encode())
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def stop(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

@@ -1,0 +1,199 @@
+"""Work-stealing scheduler: persistence, stealing, drain, fault paths.
+
+The guarantees under test:
+
+* one persistent pool serves many jobs (sequential and concurrent)
+  without respawning workers between them,
+* results through the scheduler are byte-identical to the classic
+  serial runner, whatever the interleaving,
+* a slot whose job ran dry steals from the richest other deque,
+* a graceful drain drops pending shards as unrun (resumable), lets
+  in-flight ones finish, and refuses new submissions,
+* a worker death burns one attempt per in-flight shard, the pool is
+  rebuilt once, and retries reproduce the uninterrupted aggregate.
+"""
+
+import json
+import signal
+import threading
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    SchedulerClosed,
+    ShardListener,
+    ShardScheduler,
+    drain_on_signals,
+)
+from repro.campaign.executor import KILL_MARKER_ENV, KILL_SHARDS_ENV
+from repro.workloads import synthetic_profile
+
+
+def small_spec(trials=1_200, seed=0xBEEF, shard_size=200):
+    return CampaignSpec.from_structure(
+        synthetic_profile("sha"), "ftspm", trials=trials, seed=seed,
+        shard_size=shard_size)
+
+
+def canonical(summary):
+    return json.dumps(summary.result.to_dict(), sort_keys=True)
+
+
+class Recorder(ShardListener):
+    """Collects every callback; the lock is scheduler-held, so lists
+    only need to be appended to."""
+
+    def __init__(self):
+        self.ok = []
+        self.retries = []
+        self.failed = []
+
+    def shard_ok(self, index, attempts, result_dict, elapsed):
+        self.ok.append((index, attempts))
+
+    def shard_retry(self, index, attempt, error):
+        self.retries.append((index, attempt, error))
+
+    def shard_failed(self, index, attempts, error):
+        self.failed.append((index, attempts, error))
+
+
+# --- persistence across jobs -------------------------------------------------
+
+def test_one_pool_serves_sequential_jobs():
+    spec = small_spec()
+    reference = CampaignRunner(spec, jobs=1).run()
+    with ShardScheduler(workers=2) as scheduler:
+        first = CampaignRunner(spec, scheduler=scheduler).run()
+        second = CampaignRunner(spec, scheduler=scheduler).run()
+        assert scheduler.stats["pools_created"] == 1
+        assert scheduler.stats["jobs_submitted"] == 2
+    assert canonical(first) == canonical(reference)
+    assert canonical(second) == canonical(reference)
+
+
+def test_concurrent_jobs_byte_identical_to_serial():
+    spec_a = small_spec(seed=0xAAAA)
+    spec_b = small_spec(seed=0xBBBB, trials=800)
+    ref_a = CampaignRunner(spec_a, jobs=1).run()
+    ref_b = CampaignRunner(spec_b, jobs=1).run()
+    outcomes = {}
+    with ShardScheduler(workers=2) as scheduler:
+        def run(name, spec):
+            outcomes[name] = CampaignRunner(spec,
+                                            scheduler=scheduler).run()
+        threads = [threading.Thread(target=run, args=("a", spec_a)),
+                   threading.Thread(target=run, args=("b", spec_b))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert scheduler.stats["pools_created"] == 1
+    assert canonical(outcomes["a"]) == canonical(ref_a)
+    assert canonical(outcomes["b"]) == canonical(ref_b)
+
+
+def test_zero_shard_job_completes_immediately():
+    with ShardScheduler(workers=1) as scheduler:
+        job = scheduler.submit(small_spec(), indices=[])
+        assert job.finished
+        assert job.ok == 0 and job.failed == 0
+
+
+# --- stealing ----------------------------------------------------------------
+
+def test_idle_slots_steal_from_richer_job():
+    # Both slots take affinity to job A (the only job at resume time
+    # with pending work is scanned richest-first); when A's deque runs
+    # dry they must steal B's shards from the tail rather than idle.
+    recorder_a, recorder_b = Recorder(), Recorder()
+    with ShardScheduler(workers=2) as scheduler:
+        scheduler.pause()
+        job_a = scheduler.submit(small_spec(trials=1_200, seed=0xA),
+                                 listener=recorder_a)
+        job_b = scheduler.submit(small_spec(trials=400, seed=0xB),
+                                 listener=recorder_b)
+        scheduler.resume()
+        assert job_a.wait(120) and job_b.wait(120)
+        assert scheduler.stats["steals"] >= 1
+    assert sorted(i for i, _ in recorder_a.ok) == job_a.indices
+    assert sorted(i for i, _ in recorder_b.ok) == job_b.indices
+    assert not recorder_a.failed and not recorder_b.failed
+
+
+# --- graceful drain ----------------------------------------------------------
+
+def test_drain_drops_pending_shards_as_unrun():
+    recorder = Recorder()
+    scheduler = ShardScheduler(workers=2)
+    try:
+        scheduler.pause()  # nothing dispatches: all shards stay pending
+        job = scheduler.submit(small_spec(), listener=recorder)
+        scheduler.request_drain()
+        assert job.wait(10)
+        assert job.drained
+        assert sorted(job.dropped) == job.indices
+        assert recorder.ok == [] and recorder.failed == []
+        with pytest.raises(SchedulerClosed):
+            scheduler.submit(small_spec())
+    finally:
+        scheduler.close()
+
+
+def test_runner_reports_drain(tmp_path):
+    runner = CampaignRunner(small_spec(), jobs=2,
+                            run_dir=str(tmp_path / "run"))
+    runner.request_drain()  # in-flight shards may finish; pending drop
+    summary = runner.run()
+    assert summary.drained
+    assert not summary.complete
+    assert summary.trials_completed < summary.trials_requested
+
+
+def test_drain_on_signals_requests_drain():
+    class Target:
+        drains = 0
+
+        def request_drain(self):
+            self.drains += 1
+
+    target = Target()
+    observed = []
+    with drain_on_signals(target, signals=(signal.SIGTERM,),
+                          on_drain=observed.append):
+        signal.raise_signal(signal.SIGTERM)
+        assert target.drains == 1
+        assert observed == [signal.SIGTERM]
+    # handlers restored on exit
+    assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+
+# --- fault tolerance ---------------------------------------------------------
+
+def test_worker_death_rebuilds_pool_and_retries(tmp_path, monkeypatch):
+    spec = small_spec()
+    reference = CampaignRunner(spec, jobs=1).run()
+    monkeypatch.setenv(KILL_SHARDS_ENV, "2")
+    monkeypatch.setenv(KILL_MARKER_ENV, str(tmp_path))
+    with ShardScheduler(workers=2) as scheduler:
+        summary = CampaignRunner(spec, scheduler=scheduler).run()
+        assert scheduler.stats["pool_rebuilds"] >= 1
+        assert scheduler.stats["retries"] >= 1
+    assert (tmp_path / "killed-2").exists()
+    assert summary.complete
+    assert canonical(summary) == canonical(reference)
+
+
+def test_submit_after_close_raises():
+    scheduler = ShardScheduler(workers=1)
+    scheduler.close()
+    with pytest.raises(SchedulerClosed):
+        scheduler.submit(small_spec())
+
+
+def test_bad_worker_count_rejected():
+    from repro.errors import CampaignError
+    with pytest.raises(CampaignError):
+        ShardScheduler(workers=0)
