@@ -11,6 +11,8 @@ Subcommands::
     ftspm serve [--port P] [--workers N]       async HTTP job service
     ftspm submit KIND WORKLOAD [--param k=v]   submit a job to 'serve'
     ftspm lint TARGET [...]                    static diagnostics (CI gate)
+    ftspm diff [A B | --against DIR]           structural mapping diff
+    ftspm golden [--update] [--force]          golden corpus check/refresh
     ftspm disasm WORKLOAD                      disassemble a workload
     ftspm list                                 available workloads/experiments
 
@@ -396,12 +398,37 @@ def _cmd_trace(args):
     return 0
 
 
+def _report_corpus_changes(before, after):
+    """Print which golden digests an update actually moved."""
+    changed = unchanged = 0
+    for path in sorted(after):
+        if path not in before:
+            print("new:       %s (%s)" % (path, after[path][:12]))
+        elif after[path] != before[path]:
+            changed += 1
+            print("changed:   %s (%s -> %s)"
+                  % (path, before[path][:12], after[path][:12]))
+        else:
+            unchanged += 1
+    for path in sorted(set(before) - set(after)):
+        print("orphaned:  %s (not rewritten)" % path)
+    print("digests: %d changed, %d unchanged" % (changed, unchanged))
+
+
 def _cmd_golden(args):
     from .campaign.batch.equivalence import (
         check_campaign_golden,
         write_campaign_golden,
     )
-    from .sim.diffcheck import check_golden, golden_names, write_golden
+    from .diff import check_mapping_golden, write_mapping_golden
+    from .diff.snapshots import mapping_golden_dir
+    from .sim.diffcheck import (
+        check_golden,
+        corpus_file_digests,
+        golden_names,
+        uncommitted_source_changes,
+        write_golden,
+    )
 
     names = args.names or None
     known = set(golden_names())
@@ -411,24 +438,173 @@ def _cmd_golden(args):
                 "unknown golden workload %r (one of: %s)"
                 % (name, ", ".join(golden_names())))
     if args.update:
+        dirty = uncommitted_source_changes()
+        if dirty and not args.force:
+            print("error: refusing to re-baseline the golden corpus: "
+                  "uncommitted changes under src/repro/:",
+                  file=sys.stderr)
+            for path in dirty:
+                print("  %s" % path, file=sys.stderr)
+            print("commit (or stash) them first, or pass --force to "
+                  "re-baseline anyway", file=sys.stderr)
+            return 2
+        before = corpus_file_digests(args.dir)
         for path in write_golden(args.dir, names=names):
             print("wrote %s" % path)
         print("wrote %s" % write_campaign_golden(args.dir, names=names))
+        for path in write_mapping_golden(mapping_golden_dir(args.dir),
+                                         names=names):
+            print("wrote %s" % path)
+        _report_corpus_changes(before, corpus_file_digests(args.dir))
         return 0
     problems = check_golden(args.dir, names=names)
     for key, problem in check_campaign_golden(args.dir,
                                               names=names).items():
         problems["campaign:%s" % key] = problem
+    mapping_report = check_mapping_golden(mapping_golden_dir(args.dir),
+                                          names=names)
+    for entry in mapping_report.entries:
+        if entry.status == "clean":
+            continue
+        problems["mapping:%s" % entry.key] = (
+            entry.problem if entry.problem is not None
+            else entry.diff.summary())
     checked = names or golden_names()
     if not problems:
-        print("golden corpus OK (%d workload(s) checked, sim + campaign)"
-              % len(checked))
+        print("golden corpus OK (%d workload(s) checked, sim + campaign "
+              "+ mapping)" % len(checked))
         return 0
     for name, problem in sorted(problems.items()):
         print("%s: %s" % (name, problem))
     print("golden corpus MISMATCH (%d problem(s) over %d workload(s))"
           % (len(problems), len(checked)))
     return 1
+
+
+def _diff_thresholds(args):
+    from .diff import DiffThresholds
+
+    return DiffThresholds(
+        max_moves=args.allow_moves,
+        tolerances={
+            "vulnerability": args.tol_vulnerability / 100.0,
+            "dynamic_energy": args.tol_energy / 100.0,
+            "static_energy": args.tol_energy / 100.0,
+            "cycles": args.tol_cycles / 100.0,
+        })
+
+
+def _diff_flavors(args):
+    return None if args.flavor == "both" else (args.flavor,)
+
+
+def _diff_side_label(which, args):
+    parts = ["%s profile" % (getattr(args, which + "_profile")
+                             or "dynamic")]
+    for knob in ("structure", "engine", "injector"):
+        value = getattr(args, "%s_%s" % (which, knob))
+        if value:
+            parts.append("%s=%s" % (knob, value))
+    return ", ".join(parts)
+
+
+def _diff_fresh_pair(args, thresholds):
+    """Two freshly computed runs of one workload, knobs per side."""
+    from .diff import DiffSetReport, compute_snapshot, diff_snapshots
+
+    report = DiffSetReport(thresholds=thresholds)
+    sides = {}
+    for which in ("a", "b"):
+        sides[which] = compute_snapshot(
+            args.workload,
+            flavor=getattr(args, which + "_profile") or "dynamic",
+            structure=getattr(args, which + "_structure")
+            or args.structure,
+            engine=getattr(args, which + "_engine"),
+            injector=getattr(args, which + "_injector"))
+    report.add(args.workload, diff_snapshots(
+        sides["a"], sides["b"], a_label=_diff_side_label("a", args),
+        b_label=_diff_side_label("b", args), key=args.workload))
+    return report
+
+
+def _diff_paths(args, thresholds):
+    """Diff two snapshot files, or two directories aligned by name."""
+    from .diff import DiffSetReport, diff_snapshots, load_snapshot
+
+    report = DiffSetReport(thresholds=thresholds)
+    a_dir, b_dir = os.path.isdir(args.a), os.path.isdir(args.b)
+    if a_dir != b_dir:
+        raise ReproError(
+            "cannot diff a file against a directory (%r vs %r)"
+            % (args.a, args.b))
+    if not a_dir:
+        key = os.path.basename(args.a)
+        try:
+            diff = diff_snapshots(load_snapshot(args.a),
+                                  load_snapshot(args.b),
+                                  a_label=args.a, b_label=args.b,
+                                  key=key)
+        except ReproError as error:
+            report.add_problem(key, str(error))
+            return report
+        report.add(key, diff)
+        return report
+    entries = sorted(set(
+        name for directory in (args.a, args.b)
+        for name in os.listdir(directory) if name.endswith(".json")))
+    if not entries:
+        raise ReproError("no snapshot .json files under %r or %r"
+                         % (args.a, args.b))
+    for name in entries:
+        try:
+            diff = diff_snapshots(
+                load_snapshot(os.path.join(args.a, name)),
+                load_snapshot(os.path.join(args.b, name)),
+                a_label=args.a, b_label=args.b, key=name)
+        except ReproError as error:
+            report.add_problem(name, str(error))
+            continue
+        report.add(name, diff)
+    return report
+
+
+def _cmd_diff(args):
+    from .diff import check_mapping_golden, render_json, render_text
+
+    thresholds = _diff_thresholds(args)
+    try:
+        if args.workload:
+            if args.a or args.b:
+                raise ReproError(
+                    "--workload computes both sides; drop the "
+                    "positional snapshot paths")
+            report = _diff_fresh_pair(args, thresholds)
+        elif args.a or args.b:
+            if not (args.a and args.b):
+                raise ReproError("need two snapshot paths (or use "
+                                 "--against / --workload)")
+            report = _diff_paths(args, thresholds)
+        else:
+            names = (args.workloads.split(",")
+                     if args.workloads else None)
+            report = check_mapping_golden(
+                args.against, names=names,
+                flavors=_diff_flavors(args), thresholds=thresholds)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_json(report))
+            handle.write("\n")
+        print("wrote %s" % args.out,
+              file=sys.stderr if args.json else sys.stdout)
+    return report.exit_code
 
 
 def _cmd_disasm(args):
@@ -519,8 +695,81 @@ def build_parser():
                                "engine instead of checking it")
     p_golden.add_argument("--dir", default=os.path.join("tests", "golden"),
                           help="corpus directory (default: tests/golden)")
+    p_golden.add_argument("--force", action="store_true",
+                          help="allow --update even with uncommitted "
+                               "changes under src/repro/ (normally "
+                               "refused so a regression cannot be "
+                               "silently re-baselined)")
     _add_engine_argument(p_golden)
     p_golden.set_defaults(func=_cmd_golden)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="structural mapping diff: which blocks changed region, "
+             "and what it cost (exit 0 clean / 1 violation / 2 error)")
+    p_diff.add_argument("a", nargs="?", metavar="A",
+                        help="snapshot file or directory (old side)")
+    p_diff.add_argument("b", nargs="?", metavar="B",
+                        help="snapshot file or directory (new side)")
+    p_diff.add_argument("--against", metavar="DIR",
+                        default=os.path.join("tests", "golden",
+                                             "mappings"),
+                        help="with no positionals: recompute mappings "
+                             "at HEAD and diff them against this "
+                             "snapshot corpus (default: "
+                             "tests/golden/mappings)")
+    p_diff.add_argument("--workloads", metavar="W1,W2,...",
+                        help="corpus subset for --against mode "
+                             "(default: every golden workload)")
+    p_diff.add_argument("--flavor", default="both",
+                        choices=("dynamic", "static", "both"),
+                        help="profile flavors to check in --against "
+                             "mode")
+    p_diff.add_argument("--workload", metavar="SPEC",
+                        help="fresh-pair mode: compute BOTH sides of "
+                             "this workload, with per-side knobs "
+                             "(--a-*/--b-*)")
+    p_diff.add_argument("--structure", default="ftspm",
+                        choices=sorted(STRUCTURES),
+                        help="structure for fresh-pair sides without "
+                             "an explicit --a-/--b-structure")
+    for side in ("a", "b"):
+        p_diff.add_argument("--%s-profile" % side,
+                            choices=("dynamic", "static"), default=None,
+                            help="side %s profile flavor" % side)
+        p_diff.add_argument("--%s-structure" % side,
+                            choices=sorted(STRUCTURES), default=None,
+                            help="side %s structure" % side)
+        p_diff.add_argument("--%s-engine" % side,
+                            choices=engine_knob().choices, default=None,
+                            help="side %s execution engine" % side)
+        p_diff.add_argument("--%s-injector" % side,
+                            choices=injector_knob().choices,
+                            default=None,
+                            help="side %s campaign injector" % side)
+    p_diff.add_argument("--json", action="store_true",
+                        help="print the machine-readable report "
+                             "(schema: docs/schemas/"
+                             "diff-report.schema.json)")
+    p_diff.add_argument("--out", metavar="FILE",
+                        help="also write the JSON report here")
+    p_diff.add_argument("--allow-moves", type=int, default=0,
+                        metavar="N",
+                        help="tolerate up to N region moves per entry "
+                             "(default 0)")
+    p_diff.add_argument("--tol-vulnerability", type=float, default=0.0,
+                        metavar="PCT",
+                        help="relative vulnerability tolerance in "
+                             "percent (default 0)")
+    p_diff.add_argument("--tol-energy", type=float, default=0.0,
+                        metavar="PCT",
+                        help="relative dynamic/static energy tolerance "
+                             "in percent (default 0)")
+    p_diff.add_argument("--tol-cycles", type=float, default=0.0,
+                        metavar="PCT",
+                        help="relative cycle-count tolerance in "
+                             "percent (default 0)")
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_profile = sub.add_parser("profile", help="profile a workload")
     _add_workload_arguments(p_profile)

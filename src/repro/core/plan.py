@@ -180,6 +180,16 @@ class MappingPlan:
     def region_occupancy(self):
         return {name: slot.used for name, slot in self.slots.items()}
 
+    def assignment_table(self):
+        """``{block name: region name or None}`` for every block.
+
+        The structural differ (:mod:`repro.diff`) aligns plans on this
+        table; block names are the stable identity that survives
+        recompilation and region resizing.
+        """
+        return {name: assignment.region_name
+                for name, assignment in self.assignments.items()}
+
     def total_spm_bytes(self):
         return sum(slot.size for slot in self.slots.values())
 

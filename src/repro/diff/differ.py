@@ -1,0 +1,487 @@
+"""The structural mapping differ.
+
+Given two :class:`~repro.diff.model.MappingSnapshot` instances, produce
+a :class:`MappingDiff` that says *which blocks changed region and what
+it cost* — block move-sets aligned on stable block names, added and
+removed blocks, shape drift (a block whose size or kind changed), and
+per-metric deltas — instead of the bare digest mismatch a golden file
+gives.  Diffs are algebraically well-behaved, and property tests hold
+them to it:
+
+* ``diff(A, A)`` is empty,
+* ``diff(A, B).inverse()`` equals ``diff(B, A)``,
+* applying ``diff(A, B)``'s move-set to A's assignment table
+  reproduces B's exactly (:func:`apply_moves`).
+
+:class:`DiffThresholds` turns a diff into a verdict: by default any
+structural change or metric drift is a violation, and CLI flags relax
+that (``--allow-moves``, ``--tol-*``).  Violations are reported as
+:class:`~repro.diagnostics.Finding` objects under stable ``diff.*``
+rule ids so text and JSON render through the shared diagnostics layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..diagnostics import Finding, Severity
+
+#: the metrics thresholds gate on (others are reported, never gating)
+GATED_METRICS = ("cycles", "dynamic_energy", "static_energy",
+                 "vulnerability")
+
+#: human labels for move summaries, keyed by Protection.value
+_PROTECTION_LABELS = {
+    "immune": "STT-RAM",
+    "sec-ded": "SEC-DED",
+    "parity": "parity",
+    "unprotected": "SRAM",
+}
+
+
+def placement_label(placement):
+    """Short human name for where a block lives ("SEC-DED", "cache")."""
+    if placement is None or placement.region is None:
+        return "cache"
+    return _PROTECTION_LABELS.get(placement.protection, placement.region)
+
+
+@dataclass(frozen=True)
+class BlockMove:
+    """One block that changed region between the two snapshots."""
+
+    block: str
+    kind: str
+    size: int
+    from_region: str  # None = was unmapped
+    to_region: str  # None = now unmapped
+    from_label: str = ""
+    to_label: str = ""
+
+    def to_dict(self):
+        return {
+            "block": self.block,
+            "kind": self.kind,
+            "size": self.size,
+            "from_region": self.from_region,
+            "to_region": self.to_region,
+            "from": self.from_label,
+            "to": self.to_label,
+        }
+
+    def inverse(self):
+        return BlockMove(block=self.block, kind=self.kind, size=self.size,
+                         from_region=self.to_region,
+                         to_region=self.from_region,
+                         from_label=self.to_label,
+                         to_label=self.from_label)
+
+
+@dataclass(frozen=True)
+class ShapeChange:
+    """A block present on both sides whose size or kind drifted."""
+
+    block: str
+    attribute: str  # "size" | "kind"
+    a_value: object
+    b_value: object
+
+    def to_dict(self):
+        return {"block": self.block, "attribute": self.attribute,
+                "a": self.a_value, "b": self.b_value}
+
+    def inverse(self):
+        return ShapeChange(self.block, self.attribute,
+                           self.b_value, self.a_value)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between the two snapshots."""
+
+    name: str
+    a: float
+    b: float
+
+    @property
+    def delta(self):
+        return self.b - self.a
+
+    @property
+    def relative(self):
+        """Signed relative change; ``inf`` when appearing from zero."""
+        if self.a == 0.0:
+            return 0.0 if self.b == 0.0 else math.copysign(
+                math.inf, self.b)
+        return (self.b - self.a) / abs(self.a)
+
+    @property
+    def changed(self):
+        return self.a != self.b
+
+    def format_relative(self):
+        rel = self.relative
+        if rel == 0.0:
+            return "+0.0%" if self.changed else "0%"
+        if math.isinf(rel):
+            return "+inf%" if rel > 0 else "-inf%"
+        return "%+.1f%%" % (100.0 * rel)
+
+    def to_dict(self):
+        return {"name": self.name, "a": self.a, "b": self.b,
+                "delta": self.delta,
+                "relative": None if math.isinf(self.relative)
+                else self.relative}
+
+    def inverse(self):
+        return MetricDelta(self.name, self.b, self.a)
+
+
+@dataclass
+class MappingDiff:
+    """Everything that changed between two mapping snapshots."""
+
+    key: str
+    a_label: str
+    b_label: str
+    moves: list = field(default_factory=list)
+    added: list = field(default_factory=list)  # BlockPlacement (B only)
+    removed: list = field(default_factory=list)  # BlockPlacement (A only)
+    reshaped: list = field(default_factory=list)  # ShapeChange
+    metrics: list = field(default_factory=list)  # MetricDelta
+
+    @property
+    def structural_changes(self):
+        return (len(self.moves) + len(self.added) + len(self.removed)
+                + len(self.reshaped))
+
+    @property
+    def metric_changes(self):
+        return sum(1 for delta in self.metrics if delta.changed)
+
+    @property
+    def is_identical(self):
+        return self.structural_changes == 0 and self.metric_changes == 0
+
+    def metric(self, name):
+        for delta in self.metrics:
+            if delta.name == name:
+                return delta
+        return None
+
+    def inverse(self):
+        """The same diff read the other way: ``diff(B, A)``."""
+        # A move records the destination-side shape; when the block also
+        # reshaped, the reversed move must carry the *original* shape or
+        # inverse() would disagree with diff(B, A).
+        original_shape = {}
+        for change in self.reshaped:
+            original_shape.setdefault(
+                change.block, {})[change.attribute] = change.a_value
+        moves = []
+        for move in self.moves:
+            back = move.inverse()
+            overrides = original_shape.get(move.block)
+            if overrides:
+                back = replace(back,
+                               kind=overrides.get("kind", back.kind),
+                               size=overrides.get("size", back.size))
+            moves.append(back)
+        return MappingDiff(
+            key=self.key, a_label=self.b_label, b_label=self.a_label,
+            moves=moves,
+            added=list(self.removed),
+            removed=list(self.added),
+            reshaped=[change.inverse() for change in self.reshaped],
+            metrics=[delta.inverse() for delta in self.metrics],
+        )
+
+    def move_groups(self):
+        """``{(from_label, to_label): count}``, sorted by count."""
+        groups = {}
+        for move in self.moves:
+            pair = (move.from_label, move.to_label)
+            groups[pair] = groups.get(pair, 0) + 1
+        return dict(sorted(groups.items(),
+                           key=lambda item: (-item[1], item[0])))
+
+    def summary(self):
+        """One line: the move-set and what it cost.
+
+        e.g. ``crc32/dynamic: 3 blocks moved SEC-DED->parity,
+        vulnerability +4.1%, energy -2.0%, cycles 0%``.
+        """
+        if self.is_identical:
+            return "%s: identical" % self.key
+        parts = []
+        for (origin, destination), count in self.move_groups().items():
+            parts.append("%d block%s moved %s->%s" % (
+                count, "" if count == 1 else "s", origin, destination))
+        if self.added:
+            parts.append("%d block(s) added" % len(self.added))
+        if self.removed:
+            parts.append("%d block(s) removed" % len(self.removed))
+        if self.reshaped:
+            parts.append("%d block(s) reshaped" % len(self.reshaped))
+        shorthand = (("vulnerability", "vulnerability"),
+                     ("dynamic_energy", "energy"),
+                     ("cycles", "cycles"))
+        for name, label in shorthand:
+            delta = self.metric(name)
+            if delta is not None:
+                parts.append("%s %s" % (label, delta.format_relative()))
+        return "%s: %s" % (self.key, ", ".join(parts))
+
+    def to_dict(self):
+        return {
+            "key": self.key,
+            "a": self.a_label,
+            "b": self.b_label,
+            "identical": self.is_identical,
+            "structural_changes": self.structural_changes,
+            "moves": [move.to_dict() for move in self.moves],
+            "added": [placement.to_dict() for placement in self.added],
+            "removed": [placement.to_dict()
+                        for placement in self.removed],
+            "reshaped": [change.to_dict() for change in self.reshaped],
+            "metrics": [delta.to_dict() for delta in self.metrics],
+            "summary": self.summary(),
+        }
+
+
+def diff_snapshots(a, b, a_label=None, b_label=None, key=None):
+    """Structurally diff two snapshots, aligning blocks by name."""
+    key = key or (a.key if a.key == b.key
+                  else "%s vs %s" % (a.key, b.key))
+    diff = MappingDiff(key=key, a_label=a_label or "a",
+                       b_label=b_label or "b")
+    names = sorted(set(a.blocks) | set(b.blocks))
+    for name in names:
+        ours = a.blocks.get(name)
+        theirs = b.blocks.get(name)
+        if ours is None:
+            diff.added.append(theirs)
+            continue
+        if theirs is None:
+            diff.removed.append(ours)
+            continue
+        if ours.size != theirs.size:
+            diff.reshaped.append(ShapeChange(name, "size",
+                                             ours.size, theirs.size))
+        if ours.kind != theirs.kind:
+            diff.reshaped.append(ShapeChange(name, "kind",
+                                             ours.kind, theirs.kind))
+        if ours.region != theirs.region:
+            diff.moves.append(BlockMove(
+                block=name, kind=theirs.kind, size=theirs.size,
+                from_region=ours.region, to_region=theirs.region,
+                from_label=placement_label(ours),
+                to_label=placement_label(theirs)))
+    for name in sorted(set(a.metrics) | set(b.metrics)):
+        diff.metrics.append(MetricDelta(
+            name, float(a.metrics.get(name, 0.0)),
+            float(b.metrics.get(name, 0.0))))
+    return diff
+
+
+def apply_moves(table, diff):
+    """Apply a diff's reported move-set to an assignment table.
+
+    ``table`` is ``{block: region or None}`` (snapshot A's view); the
+    result reproduces snapshot B's table exactly — the property tests
+    hold the differ to this round-trip.
+    """
+    result = dict(table)
+    for placement in diff.removed:
+        result.pop(placement.name, None)
+    for placement in diff.added:
+        result[placement.name] = placement.region
+    for move in diff.moves:
+        result[move.block] = move.to_region
+    return result
+
+
+# --- thresholds / verdicts ---------------------------------------------------
+
+@dataclass
+class DiffThresholds:
+    """When does a diff become a violation?
+
+    The default is the regression-guard posture: *any* structural
+    change and *any* drift in a gated metric violates.  ``max_moves``
+    admits up to N region moves (added/removed/reshaped blocks always
+    violate — they mean the workload itself changed shape);
+    ``tolerances`` maps gated metric names to relative fractions
+    (``0.05`` = 5%).
+    """
+
+    max_moves: int = 0
+    tolerances: dict = field(default_factory=dict)
+
+    def tolerance(self, metric_name):
+        """Relative tolerance for a metric, or None when not gated."""
+        if metric_name not in GATED_METRICS:
+            return None
+        return float(self.tolerances.get(metric_name, 0.0))
+
+    def violations(self, diff):
+        """Threshold-crossing findings for one diff (``diff.*`` rules)."""
+        findings = []
+
+        def error(rule, message):
+            findings.append(Finding(rule=rule, severity=Severity.ERROR,
+                                    message=message, source=diff.key))
+
+        if len(diff.moves) > self.max_moves:
+            moved = ", ".join(
+                "%s %s->%s" % (move.block, move.from_label, move.to_label)
+                for move in diff.moves)
+            error("diff.blocks-moved",
+                  "%d block move(s) exceed allowance %d: %s"
+                  % (len(diff.moves), self.max_moves, moved))
+        if diff.added:
+            error("diff.blocks-added", "block(s) only in %s: %s"
+                  % (diff.b_label,
+                     ", ".join(p.name for p in diff.added)))
+        if diff.removed:
+            error("diff.blocks-removed", "block(s) only in %s: %s"
+                  % (diff.a_label,
+                     ", ".join(p.name for p in diff.removed)))
+        for change in diff.reshaped:
+            error("diff.block-reshaped", "%s %s changed %r -> %r"
+                  % (change.block, change.attribute, change.a_value,
+                     change.b_value))
+        for delta in diff.metrics:
+            allowed = self.tolerance(delta.name)
+            if allowed is None or not delta.changed:
+                continue
+            relative = delta.relative
+            if math.isinf(relative) or abs(relative) > allowed:
+                error("diff.metric-drift",
+                      "%s drifted %s (%.6g -> %.6g), tolerance %.1f%%"
+                      % (delta.name, delta.format_relative(), delta.a,
+                         delta.b, 100.0 * allowed))
+        return findings
+
+    def to_dict(self):
+        return {"max_moves": self.max_moves,
+                "tolerances": {name: self.tolerances.get(name, 0.0)
+                               for name in GATED_METRICS}}
+
+
+# --- multi-entry reports -----------------------------------------------------
+
+#: entry verdicts, from best to worst
+STATUS_CLEAN = "clean"  # identical
+STATUS_DRIFT = "drift"  # changed, but within thresholds
+STATUS_VIOLATION = "violation"
+STATUS_ERROR = "error"  # snapshot missing/unreadable/uncomputable
+
+_EXIT_BY_STATUS = {STATUS_CLEAN: 0, STATUS_DRIFT: 0,
+                   STATUS_VIOLATION: 1, STATUS_ERROR: 2}
+
+
+@dataclass
+class DiffEntry:
+    """One compared pair (or one failure to compare)."""
+
+    key: str
+    diff: MappingDiff = None
+    problem: str = None
+    violations: list = field(default_factory=list)
+
+    @property
+    def status(self):
+        if self.problem is not None:
+            return STATUS_ERROR
+        if self.violations:
+            return STATUS_VIOLATION
+        return STATUS_CLEAN if self.diff.is_identical else STATUS_DRIFT
+
+    def to_dict(self):
+        payload = {"key": self.key, "status": self.status}
+        if self.problem is not None:
+            payload["problem"] = self.problem
+        else:
+            payload["diff"] = self.diff.to_dict()
+            payload["violations"] = [finding.to_dict()
+                                     for finding in self.violations]
+        return payload
+
+
+@dataclass
+class DiffSetReport:
+    """Per-workload entries plus the aggregate rollup and exit code."""
+
+    thresholds: DiffThresholds
+    entries: list = field(default_factory=list)
+
+    def add(self, key, diff):
+        entry = DiffEntry(key=key, diff=diff,
+                          violations=self.thresholds.violations(diff))
+        self.entries.append(entry)
+        return entry
+
+    def add_problem(self, key, problem):
+        entry = DiffEntry(key=key, problem=problem)
+        self.entries.append(entry)
+        return entry
+
+    @property
+    def exit_code(self):
+        """0 clean, 1 any violation, 2 any error (errors dominate)."""
+        return max((_EXIT_BY_STATUS[entry.status]
+                    for entry in self.entries), default=0)
+
+    def status_counts(self):
+        counts = {STATUS_CLEAN: 0, STATUS_DRIFT: 0,
+                  STATUS_VIOLATION: 0, STATUS_ERROR: 0}
+        for entry in self.entries:
+            counts[entry.status] += 1
+        return counts
+
+    def aggregate(self):
+        """Rollup across entries: totals and worst gated-metric drift."""
+        moves = sum(len(entry.diff.moves) for entry in self.entries
+                    if entry.diff is not None)
+        structural = sum(entry.diff.structural_changes
+                         for entry in self.entries
+                         if entry.diff is not None)
+        worst = {}
+        for entry in self.entries:
+            if entry.diff is None:
+                continue
+            for delta in entry.diff.metrics:
+                if delta.name not in GATED_METRICS or not delta.changed:
+                    continue
+                magnitude = abs(delta.relative)
+                record = worst.get(delta.name)
+                if record is None or magnitude > record["magnitude"]:
+                    worst[delta.name] = {
+                        "magnitude": magnitude,
+                        "relative": None if math.isinf(delta.relative)
+                        else delta.relative,
+                        "entry": entry.key,
+                    }
+        return {
+            "entries": len(self.entries),
+            "status_counts": self.status_counts(),
+            "total_moves": moves,
+            "total_structural_changes": structural,
+            "worst_metric_drift": {
+                name: {"relative": record["relative"],
+                       "entry": record["entry"]}
+                for name, record in sorted(worst.items())
+            },
+        }
+
+    def to_dict(self):
+        return {
+            "schema": 1,
+            "clean": self.exit_code == 0,
+            "exit_code": self.exit_code,
+            "thresholds": self.thresholds.to_dict(),
+            "entries": [entry.to_dict() for entry in self.entries],
+            "aggregate": self.aggregate(),
+        }

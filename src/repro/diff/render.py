@@ -1,0 +1,72 @@
+"""Text and JSON renderings of a diff report.
+
+The text form is for humans at a terminal: one summary line per entry
+("crc32/dynamic: 3 blocks moved SEC-DED->parity, vulnerability +4.1%,
+..."), violations rendered through the shared
+:mod:`repro.diagnostics` formatter (same shape as ``repro lint``), and
+an aggregate rollup.  The JSON form is the machine interface CI
+consumes; its document layout is pinned by ``docs/schemas/
+diff-report.schema.json`` and produced solely from
+:meth:`DiffSetReport.to_dict` so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..diagnostics import format_findings_text
+from .differ import STATUS_ERROR, GATED_METRICS
+
+
+def _format_relative(relative):
+    if relative is None:
+        return "+inf%"
+    return "%+.2f%%" % (100.0 * relative)
+
+
+def render_text(report):
+    """The human rendering of a :class:`DiffSetReport`."""
+    lines = []
+    findings = []
+    for entry in report.entries:
+        if entry.status == STATUS_ERROR:
+            lines.append("%s: ERROR %s" % (entry.key, entry.problem))
+            continue
+        lines.append(entry.diff.summary())
+        for move in entry.diff.moves:
+            lines.append("    %-16s %-5s %5dB  %s -> %s"
+                         % (move.block, move.kind, move.size,
+                            move.from_region or "(cache)",
+                            move.to_region or "(cache)"))
+        for delta in entry.diff.metrics:
+            if delta.changed and delta.name in GATED_METRICS:
+                lines.append("    %-18s %.6g -> %.6g (%s)"
+                             % (delta.name, delta.a, delta.b,
+                                delta.format_relative()))
+        findings.extend(entry.violations)
+    if findings:
+        lines.append("")
+        lines.append(format_findings_text(findings))
+    aggregate = report.aggregate()
+    counts = aggregate["status_counts"]
+    lines.append("")
+    lines.append(
+        "%d entry(ies): %d clean, %d drift, %d violation, %d error; "
+        "%d block move(s), %d structural change(s)"
+        % (aggregate["entries"], counts["clean"], counts["drift"],
+           counts["violation"], counts["error"],
+           aggregate["total_moves"],
+           aggregate["total_structural_changes"]))
+    for name, record in aggregate["worst_metric_drift"].items():
+        lines.append("  worst %s drift: %s (%s)"
+                     % (name, _format_relative(record["relative"]),
+                        record["entry"]))
+    verdict = {0: "CLEAN", 1: "VIOLATION", 2: "ERROR"}[report.exit_code]
+    lines.append("mapping diff: %s (exit %d)"
+                 % (verdict, report.exit_code))
+    return "\n".join(lines)
+
+
+def render_json(report):
+    """The machine rendering: deterministic, schema-pinned JSON."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,103 @@
+"""A dependency-free validator for the JSON-Schema subset we commit.
+
+The ``repro diff --json`` document is a machine interface, so its shape
+is pinned by a checked-in schema (``docs/schemas/
+diff-report.schema.json``) and validated in CI.  The container ships no
+``jsonschema`` package, so this module implements exactly the keyword
+subset the committed schema uses — ``type``, ``properties``,
+``required``, ``additionalProperties``, ``items``, ``enum``,
+``minimum`` — and refuses schemas that use anything else, so a schema
+edit cannot silently skip validation.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+_SUPPORTED_KEYWORDS = {
+    "$schema", "title", "description", "type", "properties", "required",
+    "additionalProperties", "items", "enum", "minimum",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ReproError):
+    """An instance does not conform (or the schema itself is bad)."""
+
+
+def _fail(path, message):
+    raise SchemaError("%s: %s" % (path or "$", message))
+
+
+def _check_type(instance, declared, path):
+    options = declared if isinstance(declared, list) else [declared]
+    for option in options:
+        expected = _TYPES.get(option)
+        if expected is None:
+            _fail(path, "schema declares unknown type %r" % option)
+        if isinstance(instance, expected):
+            # bool is an int subclass; don't let True pass as integer
+            if (option in ("integer", "number")
+                    and isinstance(instance, bool)):
+                continue
+            return
+    _fail(path, "expected type %s, got %s"
+          % ("|".join(options), type(instance).__name__))
+
+
+def validate(instance, schema, path=""):
+    """Validate ``instance`` against the supported schema subset.
+
+    Raises :class:`SchemaError` naming the offending path; returns
+    None on success.
+    """
+    unsupported = set(schema) - _SUPPORTED_KEYWORDS
+    if unsupported:
+        _fail(path, "schema uses unsupported keyword(s): %s"
+              % ", ".join(sorted(unsupported)))
+    if "enum" in schema:
+        if instance not in schema["enum"]:
+            _fail(path, "%r not in enum %r" % (instance, schema["enum"]))
+    if "type" in schema:
+        _check_type(instance, schema["type"], path)
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            _fail(path, "%r below minimum %r"
+                  % (instance, schema["minimum"]))
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                _fail(path, "missing required property %r" % name)
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            child_path = "%s.%s" % (path, name) if path else name
+            if name in properties:
+                validate(value, properties[name], child_path)
+            elif schema.get("additionalProperties", True) is False:
+                _fail(child_path, "additional property not allowed")
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            validate(item, schema["items"], "%s[%d]" % (path, index))
+
+
+def validate_report(document, schema_path=None):
+    """Validate one ``repro diff`` JSON report against the committed
+    schema (``docs/schemas/diff-report.schema.json`` by default)."""
+    import json
+    import os
+
+    if schema_path is None:
+        schema_path = os.path.join("docs", "schemas",
+                                   "diff-report.schema.json")
+    with open(schema_path) as handle:
+        schema = json.load(handle)
+    validate(document, schema)

@@ -58,6 +58,19 @@ class StructureEvaluation:
     def total_energy(self):
         return self.dynamic_energy + self.static_energy
 
+    def metrics(self):
+        """The scalar metric set as plain floats, for snapshots/diffs."""
+        return {
+            "cycles": float(self.cycles),
+            "runtime_seconds": float(self.runtime_seconds),
+            "dynamic_energy": float(self.dynamic_energy),
+            "static_energy": float(self.static_energy),
+            "vulnerability": float(self.vulnerability),
+            "sdc_avf": float(self.sdc_avf),
+            "due_avf": float(self.due_avf),
+            "max_cell_write_rate": float(self.max_cell_write_rate),
+        }
+
 
 def plan_for_structure(profile, structure, config=None, thresholds=None):
     """Build the mapping plan a structure uses for a profile."""

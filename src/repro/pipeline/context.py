@@ -295,6 +295,30 @@ class EvaluationContext:
 
         return self.artifact("evaluation", parts, compute)
 
+    def mapping_snapshot(self, profile, structure, config=None,
+                         thresholds=None):
+        """Structural placement snapshot for one (profile, structure).
+
+        The artifact is the plain-JSON snapshot document
+        (:mod:`repro.diff.model`): every block's region assignment plus
+        the analytic metric scalars.  Keyed like an evaluation — and
+        like every artifact it is engine/injector-free, which is what
+        makes cross-knob mapping diffs meaningful.
+        """
+        from ..diff.model import build_snapshot
+
+        parts = (self.profile_key(profile), structure,
+                 self.config_key(config) if config is not None else None,
+                 thresholds_fingerprint(thresholds))
+
+        def compute():
+            evaluation = self.evaluation(profile, structure,
+                                         config=config,
+                                         thresholds=thresholds)
+            return build_snapshot(profile, evaluation).to_dict()
+
+        return self.artifact("mapping-snapshot", parts, compute)
+
     def suite_evaluations(self):
         """{benchmark: {structure: StructureEvaluation}} over the suite."""
         from ..eval.structures import STRUCTURES

@@ -289,6 +289,57 @@ def assert_source_equivalent(source, config=None, max_instructions=None,
         % (report.explain(), path, minimized))
 
 
+# --- golden-update safety ----------------------------------------------------
+
+def _git_status_lines(subtree):
+    """``git status --porcelain`` lines for ``subtree``, or None when
+    git is unavailable or this is not a checkout."""
+    import subprocess
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--", subtree],
+            capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.splitlines()
+
+
+def uncommitted_source_changes(subtree=os.path.join("src", "repro")):
+    """Paths with uncommitted changes under the simulator source tree.
+
+    ``repro golden --update`` refuses to re-baseline while this is
+    non-empty (unless forced): a golden refresh over a dirty
+    ``src/repro/`` would commit whatever regression the working tree
+    carries as the new truth.  Returns ``[]`` when the tree is clean
+    *or* when git cannot answer (a tarball checkout must not lose the
+    ability to regenerate goldens).
+    """
+    lines = _git_status_lines(subtree)
+    if not lines:
+        return []
+    return [line[3:].strip() for line in lines if line.strip()]
+
+
+def corpus_file_digests(directory):
+    """``{relative path: sha256}`` over every .json under a corpus dir.
+
+    The update path snapshots this before and after writing so it can
+    say exactly which golden digests changed.
+    """
+    digests = {}
+    for root, _, files in os.walk(directory):
+        for name in sorted(files):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(root, name)
+            with open(path, "rb") as handle:
+                digests[os.path.relpath(path, directory)] = (
+                    hashlib.sha256(handle.read()).hexdigest())
+    return digests
+
+
 # --- golden-trace corpus -----------------------------------------------------
 
 def golden_names():

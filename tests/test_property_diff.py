@@ -1,0 +1,165 @@
+"""Property tests for the structural mapping differ.
+
+The differ claims an algebra (module docstring of
+:mod:`repro.diff.differ`), and these tests hold it to that algebra on
+*randomly generated* snapshots, not just the curated goldens:
+
+* ``diff(A, A)`` is empty — for random snapshots and for every
+  committed golden snapshot,
+* ``diff(A, B).inverse()`` equals ``diff(B, A)`` exactly,
+* applying ``diff(A, B)``'s reported move-set to A's assignment table
+  reproduces B's assignment table,
+* snapshots survive a ``to_dict``/``from_dict`` round trip,
+* any report rendered to JSON validates against the committed schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diff import (
+    BlockPlacement,
+    DiffSetReport,
+    DiffThresholds,
+    MappingSnapshot,
+    apply_moves,
+    diff_snapshots,
+    load_snapshot,
+    render_json,
+    snapshot_names,
+    snapshot_path,
+    validate_report,
+)
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+MAPPINGS_DIR = os.path.join(TESTS_DIR, "golden", "mappings")
+SCHEMA_PATH = os.path.join(os.path.dirname(TESTS_DIR), "docs",
+                           "schemas", "diff-report.schema.json")
+
+# The real region vocabulary (None = block left to the cache), with the
+# protection each region implies — mirrors the FTSPM structure.
+_REGIONS = {
+    None: None,
+    "dspm-parity": "parity",
+    "dspm-secded": "sec-ded",
+    "dspm-stt": "immune",
+    "ispm-stt": "immune",
+}
+
+_BLOCK_NAMES = ("Main", "Add", "Mult", "Array1", "Array2", "Array3",
+                "Array4", "Stack", "input_bytes", "coeffs", "outputs",
+                "matrix_b")
+
+_METRICS = ("cycles", "dynamic_energy", "static_energy",
+            "vulnerability", "sdc_avf")
+
+
+def _placement(name, region, size, kind):
+    return BlockPlacement(name=name, kind=kind, size=size, region=region,
+                          protection=_REGIONS[region],
+                          address=None if region is None else 64)
+
+
+@st.composite
+def snapshots(draw):
+    """A random but structurally plausible mapping snapshot."""
+    names = draw(st.sets(st.sampled_from(_BLOCK_NAMES), max_size=8))
+    blocks = {}
+    for name in sorted(names):
+        blocks[name] = _placement(
+            name,
+            draw(st.sampled_from(sorted(_REGIONS, key=repr))),
+            draw(st.integers(min_value=4, max_value=4096)),
+            draw(st.sampled_from(("code", "data", "stack"))))
+    metrics = draw(st.dictionaries(
+        st.sampled_from(_METRICS),
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        max_size=len(_METRICS)))
+    return MappingSnapshot(workload="w", structure="ftspm",
+                           profile_flavor="dynamic", blocks=blocks,
+                           regions={}, metrics=metrics)
+
+
+@given(snapshots())
+@settings(max_examples=60, deadline=None)
+def test_self_diff_is_empty(a):
+    diff = diff_snapshots(a, a)
+    assert diff.is_identical
+    assert diff.structural_changes == 0
+    assert diff.metric_changes == 0
+    assert DiffThresholds().violations(diff) == []
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=60, deadline=None)
+def test_inverse_equals_reversed_diff(a, b):
+    forward = diff_snapshots(a, b, a_label="a", b_label="b", key="k")
+    backward = diff_snapshots(b, a, a_label="b", b_label="a", key="k")
+    assert forward.inverse().to_dict() == backward.to_dict()
+    # ... and inverting twice is the identity.
+    assert forward.inverse().inverse().to_dict() == forward.to_dict()
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=60, deadline=None)
+def test_applying_the_move_set_reproduces_b(a, b):
+    diff = diff_snapshots(a, b)
+    assert apply_moves(a.assignment_table(), diff) == \
+        b.assignment_table()
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=60, deadline=None)
+def test_applying_the_inverse_recovers_a(a, b):
+    diff = diff_snapshots(a, b)
+    assert apply_moves(b.assignment_table(), diff.inverse()) == \
+        a.assignment_table()
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=60, deadline=None)
+def test_identical_iff_no_reported_changes(a, b):
+    diff = diff_snapshots(a, b)
+    reported = (diff.moves or diff.added or diff.removed or diff.reshaped
+                or any(delta.changed for delta in diff.metrics))
+    assert diff.is_identical == (not reported)
+    # Strict thresholds flag every structural change.
+    violations = DiffThresholds().violations(diff)
+    if diff.structural_changes:
+        assert violations
+
+
+@given(snapshots())
+@settings(max_examples=60, deadline=None)
+def test_snapshot_dict_round_trip(a):
+    assert MappingSnapshot.from_dict(a.to_dict()) == a
+    # ... and the document is genuinely JSON-able.
+    assert MappingSnapshot.from_dict(
+        json.loads(json.dumps(a.to_dict()))) == a
+
+
+@given(st.lists(st.tuples(snapshots(), snapshots()), min_size=1,
+                max_size=3))
+@settings(max_examples=25, deadline=None)
+def test_rendered_reports_validate_against_schema(pairs):
+    report = DiffSetReport(thresholds=DiffThresholds())
+    for index, (a, b) in enumerate(pairs):
+        report.add("pair-%d" % index, diff_snapshots(a, b))
+    report.add_problem("broken", "missing mapping snapshot x.json")
+    document = json.loads(render_json(report))
+    validate_report(document, schema_path=SCHEMA_PATH)
+    assert document["exit_code"] == report.exit_code
+
+
+def test_every_golden_snapshot_self_diffs_empty():
+    """The algebra holds on the committed corpus, workload by workload."""
+    for workload, flavor in snapshot_names():
+        snapshot = load_snapshot(
+            snapshot_path(MAPPINGS_DIR, workload, flavor))
+        diff = diff_snapshots(snapshot, snapshot)
+        assert diff.is_identical, diff.summary()
+        assert DiffThresholds().violations(diff) == []
