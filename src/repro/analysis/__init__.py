@@ -12,9 +12,15 @@ Layers, bottom to top:
 * :mod:`.staticprofile` — the simulation-free profile estimator
   (:class:`~repro.profile.bounds.StaticProfile` for MDA);
 * :mod:`.lint` — the ``repro lint`` rule catalog over all of the above.
+
+A sibling layer, :mod:`.hostlint`, points the same finding/baseline
+machinery at the *host* code — the ``repro`` package's own Python
+source — as ``repro devlint``.  ``lint`` checks programs the package
+simulates; ``hostlint`` checks the package itself.
 """
 
 from .cfg import BasicBlock, ControlFlowGraph, FlowFunction, Loop, build_cfg
+from .hostlint import DEVLINT_RULES, DevlintReport, lint_modules, lint_package
 from .lint import LINT_RULES, LintReport, lint_program, lint_source
 from .staticprofile import build_static_profile
 
@@ -28,5 +34,9 @@ __all__ = [
     "LintReport",
     "lint_program",
     "lint_source",
+    "DEVLINT_RULES",
+    "DevlintReport",
+    "lint_modules",
+    "lint_package",
     "build_static_profile",
 ]

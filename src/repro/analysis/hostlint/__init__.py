@@ -1,0 +1,43 @@
+"""``repro devlint`` — the self-hosted determinism & concurrency checker.
+
+Where ``repro lint`` analyzes *guest* assembly, this package analyzes
+the ``repro`` Python package itself.  The repo's product claims are
+invariants — jobs=1 == jobs=N byte-identical campaigns, engine-free
+and injector-salted artifact keys, picklable pure shard entry points,
+byte-stable serialization everywhere — and every one of them has so
+far been re-proven by hand with bespoke tests.  ``devlint`` makes them
+machine-checked: an AST pass framework over every module
+(:mod:`.modules`), a package import graph plus a lightweight
+intra-package call graph (:mod:`.callgraph`), a taint-style
+reachability layer answering "can a nondeterminism source reach a
+serialization or artifact-key sink" (:mod:`.taint`), and a rule
+registry (:mod:`.rules`) emitting :class:`repro.diagnostics.Finding`
+objects with stable ``dev.*`` ids — the same diagnostics frame, text
+rendering, JSON rendering, and exit-code policy as ``repro lint`` and
+``repro diff``.
+
+Pre-existing, *justified* findings are suppressed individually through
+a committed baseline file (``devlint-baseline.json``); see
+:mod:`.baseline`.  A baseline entry that no longer matches anything is
+*stale* and fails the run, so suppressions cannot outlive the code
+they excused.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .callgraph import PackageIndex
+from .modules import ModuleInfo, discover_package, parse_module
+from .rules import DEVLINT_RULES
+from .runner import DevlintReport, lint_modules, lint_package
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEVLINT_RULES",
+    "DevlintReport",
+    "ModuleInfo",
+    "PackageIndex",
+    "discover_package",
+    "lint_modules",
+    "lint_package",
+    "parse_module",
+]

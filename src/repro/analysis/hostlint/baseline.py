@@ -1,0 +1,160 @@
+"""The committed suppression file: ``devlint-baseline.json``.
+
+A baseline entry excuses exactly one pre-existing finding, and must
+say *why* (``justification`` is required — an empty one fails the
+load).  Matching is by (rule, file, block, snippet): the line number
+is recorded for humans but ignored for matching, so reflowing a file
+does not invalidate its baseline; changing the offending line (or the
+function it lives in) does.
+
+Two failure directions, both deliberate:
+
+* a finding with no entry is **unbaselined** — the run fails;
+* an entry with no finding is **stale** — the run also fails, so a
+  suppression cannot outlive the code it excused.  Fixing a finding
+  means deleting its entry in the same commit.
+
+Entries suppress one-for-one: two identical findings need two
+entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .modules import HostlintError
+
+SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding, with its reason."""
+
+    rule: str
+    file: str  # package-relative path, e.g. "repro/service/jobs.py"
+    block: str  # enclosing function ("" for module/class level)
+    snippet: str  # the offending line, stripped
+    line: int  # informational; not used for matching
+    justification: str
+
+    @property
+    def key(self):
+        return (self.rule, self.file, self.block, self.snippet)
+
+    @classmethod
+    def from_finding(cls, finding, justification):
+        return cls(rule=finding.rule, file=finding.source,
+                   block=finding.block, snippet=finding.snippet,
+                   line=finding.span.start if finding.span else 0,
+                   justification=justification)
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "block": self.block,
+            "snippet": self.snippet,
+            "line": self.line,
+            "justification": self.justification,
+        }
+
+    def describe(self):
+        return "%s:%d: [%s] %s" % (self.file, self.line, self.rule,
+                                   self.snippet or self.block)
+
+
+@dataclass
+class Baseline:
+    """An ordered set of suppression entries."""
+
+    entries: list = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise HostlintError("cannot read baseline %s: %s"
+                                % (path, error)) from None
+        except ValueError as error:
+            raise HostlintError("baseline %s is not valid JSON: %s"
+                                % (path, error)) from None
+        return cls.from_dict(payload, origin=path)
+
+    @classmethod
+    def from_dict(cls, payload, origin="<baseline>"):
+        if payload.get("schema") != SCHEMA:
+            raise HostlintError(
+                "baseline %s has schema %r; this checker expects %d"
+                % (origin, payload.get("schema"), SCHEMA))
+        entries = []
+        for position, raw in enumerate(payload.get("entries", [])):
+            justification = str(raw.get("justification", "")).strip()
+            if not justification:
+                raise HostlintError(
+                    "baseline %s entry %d has no justification; every "
+                    "suppression must say why" % (origin, position))
+            entries.append(BaselineEntry(
+                rule=str(raw.get("rule", "")),
+                file=str(raw.get("file", "")),
+                block=str(raw.get("block", "")),
+                snippet=str(raw.get("snippet", "")),
+                line=int(raw.get("line", 0)),
+                justification=justification))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings, justification):
+        """Suppress every finding in one sweep (``--write-baseline``).
+
+        All entries get the same placeholder ``justification``; the
+        point of the committed file is that a human replaces each one
+        with the real reason before review.
+        """
+        return cls(entries=[BaselineEntry.from_finding(f, justification)
+                            for f in findings])
+
+    def to_dict(self):
+        ordered = sorted(self.entries,
+                         key=lambda e: (e.file, e.line, e.rule,
+                                        e.block, e.snippet))
+        return {
+            "schema": SCHEMA,
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def apply(self, findings):
+        """Split ``findings`` against this baseline.
+
+        Returns ``(unbaselined, baselined, stale_entries)`` where each
+        entry suppresses at most one finding.
+        """
+        budget = {}
+        for entry in self.entries:
+            budget.setdefault(entry.key, []).append(entry)
+        unbaselined = []
+        baselined = []
+        for finding in findings:
+            key = (finding.rule, finding.source, finding.block,
+                   finding.snippet)
+            remaining = budget.get(key)
+            if remaining:
+                remaining.pop(0)
+                baselined.append(finding)
+            else:
+                unbaselined.append(finding)
+        stale = [entry for leftovers in budget.values()
+                 for entry in leftovers]
+        stale.sort(key=lambda e: (e.file, e.line, e.rule))
+        return unbaselined, baselined, stale

@@ -1,0 +1,225 @@
+"""Module discovery and import resolution for the host-side checker.
+
+A :class:`ModuleInfo` is one parsed source file of the ``repro``
+package: its dotted module name, its path (for findings and baseline
+identity), its AST, and the resolved *import map* — every name the
+module binds via ``import``/``from ... import``, mapped to the dotted
+thing it refers to.  The import map is what lets every later layer
+(call graph, taint sources/sinks) see through aliases: ``import numpy
+as np`` makes ``np.random.default_rng`` resolve to
+``numpy.random.default_rng``, and ``from time import perf_counter``
+makes a bare ``perf_counter()`` resolve to ``time.perf_counter``.
+
+Findings and baseline entries identify files by *package-relative*
+path (``repro/service/jobs.py``), so a baseline committed from a
+``src/`` checkout still matches when the package is imported from an
+installed location.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from ...errors import ReproError
+
+
+class HostlintError(ReproError):
+    """The checker itself could not run (unreadable/unparseable input)."""
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed Python module of the package under analysis."""
+
+    name: str  # dotted module name, e.g. "repro.service.jobs"
+    path: str  # filesystem path the module was read from
+    relpath: str  # package-relative path, e.g. "repro/service/jobs.py"
+    tree: ast.Module = None
+    source: str = ""
+    #: local name -> dotted target ("time", "time.perf_counter",
+    #: "repro.campaign.executor.shard_worker", ...)
+    imports: dict = field(default_factory=dict)
+
+    @property
+    def lines(self):
+        return self.source.splitlines()
+
+    def line_text(self, line_no):
+        lines = self.lines
+        if 1 <= line_no <= len(lines):
+            return lines[line_no - 1].strip()
+        return ""
+
+    def resolve_name(self, name):
+        """Dotted target a bare name refers to, or None if unknown."""
+        return self.imports.get(name)
+
+    def resolve_attribute(self, node):
+        """Resolve an ``ast.Attribute``/``ast.Name`` chain to a dotted
+        string through the import map; None when the base is not a
+        module-level name (e.g. ``self.x.y``, call results)."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def package_name_of(module_name):
+    """The package a module lives in (its own name for ``__init__``)."""
+    return module_name.rsplit(".", 1)[0] if "." in module_name else module_name
+
+
+def _resolve_relative(module_name, level, target):
+    """Absolute dotted form of a ``from ...target import`` statement."""
+    # level=1 is the module's own package; each extra level climbs one.
+    base_parts = module_name.split(".")
+    # The module itself is not a package unless it is an __init__; the
+    # parser below always passes names like "repro.service.jobs", where
+    # package context is everything but the last component.
+    anchor = base_parts[:-1] if len(base_parts) > 1 else base_parts
+    climb = level - 1
+    if climb > len(anchor):
+        return target or ""
+    kept = anchor[: len(anchor) - climb]
+    if target:
+        kept = kept + target.split(".")
+    return ".".join(kept)
+
+
+def import_map(module_name, tree):
+    """``{local name: dotted target}`` for every import in ``tree``.
+
+    ``from x import y`` maps ``y -> "x.y"`` — the target may name a
+    submodule or an attribute; consumers try both interpretations.
+    """
+    mapping = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else local
+                mapping[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(module_name, node.level,
+                                         node.module or "")
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = ("%s.%s" % (base, alias.name)
+                                  if base else alias.name)
+    return mapping
+
+
+def parse_module(name, source, path="<memory>", relpath=None):
+    """Build a :class:`ModuleInfo` from source text.
+
+    Raises :class:`HostlintError` on a syntax error — the checker
+    cannot analyze what it cannot parse, and a package that stopped
+    parsing is a build break, not a finding.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise HostlintError(
+            "cannot parse %s: %s" % (path, error)) from None
+    info = ModuleInfo(name=name, path=path,
+                      relpath=relpath or _default_relpath(name),
+                      tree=tree, source=source)
+    info.imports = import_map(name, tree)
+    return info
+
+
+def _default_relpath(module_name):
+    return module_name.replace(".", "/") + ".py"
+
+
+def package_root(package="repro"):
+    """Filesystem directory of an importable package."""
+    import importlib
+
+    module = importlib.import_module(package)
+    path = getattr(module, "__file__", None)
+    if path is None:
+        raise HostlintError("package %r has no source directory"
+                            % package)
+    return os.path.dirname(os.path.abspath(path))
+
+
+def discover_package(root=None, package="repro"):
+    """Parse every ``.py`` file under ``root`` into ModuleInfos.
+
+    ``root`` defaults to the installed location of ``package``.  Files
+    are walked and returned in sorted order so every downstream pass —
+    and therefore every report — is independent of directory
+    enumeration order.
+    """
+    if root is None:
+        root = package_root(package)
+    root = os.path.abspath(root)
+    modules = []
+    for directory, subdirs, files in os.walk(root):
+        subdirs[:] = sorted(d for d in subdirs if d != "__pycache__")
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if filename == "__init__.py":
+                dotted = os.path.dirname(rel).replace("/", ".")
+                name = package if not dotted else "%s.%s" % (package,
+                                                             dotted)
+            else:
+                name = "%s.%s" % (package, rel[:-3].replace("/", "."))
+                if name.endswith(".__main__"):
+                    pass  # __main__ is analyzed like any other module
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as error:
+                raise HostlintError("cannot read %s: %s"
+                                    % (path, error)) from None
+            modules.append(parse_module(
+                name, source, path=path,
+                relpath="%s/%s" % (package, rel)))
+    return modules
+
+
+def build_import_graph(modules):
+    """``{module name: set of intra-package modules it imports}``."""
+    known = {module.name for module in modules}
+    packages = {package_name_of(name) for name in known}
+    graph = {module.name: set() for module in modules}
+    for module in modules:
+        for target in module.imports.values():
+            resolved = _intra_package_module(target, known, packages)
+            if resolved and resolved != module.name:
+                graph[module.name].add(resolved)
+    return graph
+
+
+def _intra_package_module(target, known, packages):
+    """Map a dotted import target onto a known module, if any.
+
+    ``repro.campaign.executor.shard_worker`` resolves to the module
+    ``repro.campaign.executor``; plain ``repro.campaign`` resolves to
+    itself (its ``__init__``).
+    """
+    if target in known:
+        return target
+    parent = target.rsplit(".", 1)[0] if "." in target else None
+    if parent and parent in known:
+        return parent
+    if parent and parent in packages and parent in known:
+        return parent
+    return None

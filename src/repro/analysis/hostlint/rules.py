@@ -1,0 +1,560 @@
+"""The ``dev.*`` rule registry and rule implementations.
+
+Every rule guards a shipped invariant, and each finding's message says
+which.  The three buckets mirror the product claims:
+
+* **determinism** — jobs=1 == jobs=N byte-identical campaigns and
+  engine-free artifact keys demand that no wall-clock, environment, or
+  enumeration-order nondeterminism reaches a fingerprint, checkpoint,
+  or serialized response;
+* **concurrency** — the persistent worker pool (PR 7) pickles entry
+  points and shares worker processes between jobs, so submissions must
+  be module-level functions and workers must not scribble on module
+  globals;
+* **contract** — event subscribers observe, they do not edit; library
+  code never prints to stdout around the byte-stable formatters.
+
+Severity policy matches ``repro lint``: *error* findings are invariant
+violations CI gates on; *warning* marks likely-bug patterns; *info*
+marks sites worth an eyeball (every wall-clock read outside
+``repro.obs`` is at least that).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ...diagnostics import Finding, Severity, SourceSpan
+from .callgraph import walk_scope
+from .taint import ENV, WALLCLOCK, TaintAnalysis
+
+#: rule id -> (severity, one-line description); the public catalog
+DEVLINT_RULES = {
+    "dev.unseeded-random": (
+        Severity.ERROR,
+        "RNG constructed or used without an explicit seed"),
+    "dev.wallclock-to-sink": (
+        Severity.ERROR,
+        "wall-clock-derived value reaches a key/checkpoint/JSON sink"),
+    "dev.env-to-key": (
+        Severity.ERROR,
+        "environment read feeds an artifact-key function"),
+    "dev.unsorted-json": (
+        Severity.ERROR,
+        "json.dump/json.dumps without sort_keys=True"),
+    "dev.blocking-in-async": (
+        Severity.ERROR,
+        "blocking call inside an async def (stalls the event loop)"),
+    "dev.unpicklable-submit": (
+        Severity.ERROR,
+        "lambda/closure/bound method submitted to a worker pool"),
+    "dev.event-handler-mutates": (
+        Severity.ERROR,
+        "EventSubscriber handler mutates its event argument"),
+    "dev.unsorted-walk": (
+        Severity.WARNING,
+        "filesystem enumeration iterated without sorting"),
+    "dev.worker-global-write": (
+        Severity.WARNING,
+        "module-global write reachable from a pool entry point"),
+    "dev.print-in-library": (
+        Severity.WARNING,
+        "print to stdout outside the CLI formatters"),
+    "dev.mutable-default": (
+        Severity.WARNING,
+        "mutable default argument shared across calls"),
+    "dev.wallclock-outside-obs": (
+        Severity.INFO,
+        "wall-clock read outside repro.obs"),
+}
+
+#: RNG constructors that accept (and here require) an explicit seed
+_SEEDABLE_CTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+#: module-level RNG functions: always the hidden, unseeded global state
+_GLOBAL_RNG = {
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.shuffle",
+    "random.sample", "random.uniform", "random.gauss",
+    "random.getrandbits",
+    "numpy.random.rand", "numpy.random.randn", "numpy.random.randint",
+    "numpy.random.random", "numpy.random.choice",
+    "numpy.random.shuffle", "numpy.random.permutation",
+    "numpy.random.uniform", "numpy.random.normal",
+}
+
+#: filesystem enumeration with OS-dependent ordering
+_FS_ENUM = {
+    "os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob",
+}
+
+#: dotted external calls that block the calling thread
+_BLOCKING_EXTERNAL = {
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+}
+
+#: the blocking in-package client (sync HTTP; never from a coroutine)
+_BLOCKING_CLIENT_CLASS = "repro.service.client.ServiceClient"
+
+#: method names that mutate their receiver in place
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+}
+
+_EVENT_BASE = "repro.events.EventSubscriber"
+
+#: modules whose job is stdout (the CLI renders reports there)
+_PRINT_ALLOWED = ("repro.cli", "repro.__main__")
+
+
+def run_rules(index, taint=None):
+    """Run every registered rule; returns sorted Finding objects."""
+    if taint is None:
+        taint = TaintAnalysis(index)
+    checker = _Checker(index, taint)
+    checker.run()
+    checker.findings.sort(key=lambda f: (
+        f.source, f.span.start if f.span else 0, -f.severity.rank,
+        f.rule, f.message))
+    return checker.findings
+
+
+class _Checker:
+    def __init__(self, index, taint):
+        self.index = index
+        self.taint = taint
+        self.findings = []
+        self._seen = set()
+
+    # --- plumbing ---------------------------------------------------------------
+
+    def _emit(self, rule, message, module, node=None, block="",
+              line=None):
+        severity = DEVLINT_RULES[rule][0]
+        if line is None and node is not None:
+            line = node.lineno
+        span = SourceSpan.line(line) if line else None
+        snippet = module.line_text(line) if line else ""
+        key = (rule, module.relpath, line, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(
+            rule=rule, severity=severity, message=message, span=span,
+            source=module.relpath, snippet=snippet, block=block))
+
+    def _block_of(self, fn):
+        if fn is None:
+            return ""
+        prefix = fn.module.name + "."
+        if fn.qualname.startswith(prefix):
+            return fn.qualname[len(prefix):]
+        return fn.qualname
+
+    def run(self):
+        self._check_taint_flows()
+        self._check_source_sites()
+        submits = self._collect_pool_submits()
+        self._check_unpicklable_submits(submits)
+        self._check_worker_global_writes(submits)
+        for qualname, fn in self.index.functions.items():
+            self._check_unseeded_random(fn)
+            self._check_unsorted_json(fn)
+            self._check_unsorted_walk(fn)
+            self._check_print(fn)
+            self._check_mutable_default(fn)
+            if fn.is_async:
+                self._check_blocking_in_async(fn)
+        self._check_event_handlers()
+
+    # --- determinism: taint-driven rules ----------------------------------------
+
+    def _check_taint_flows(self):
+        for flow in self.taint.sink_flows:
+            if self.taint.is_exempt(flow.fn.module.name):
+                continue
+            if WALLCLOCK in flow.domains:
+                self._emit(
+                    "dev.wallclock-to-sink",
+                    "wall-clock-derived value reaches %s sink %s; a "
+                    "rerun would serialize different bytes"
+                    % (flow.kind, flow.sink),
+                    flow.fn.module, node=flow.node,
+                    block=self._block_of(flow.fn))
+            if ENV in flow.domains and flow.kind == "key":
+                self._emit(
+                    "dev.env-to-key",
+                    "environment-derived value reaches artifact-key "
+                    "sink %s; keys must be engine-free" % flow.sink,
+                    flow.fn.module, node=flow.node,
+                    block=self._block_of(flow.fn))
+
+    def _check_source_sites(self):
+        key_fns = {qualname
+                   for qualname, kind in self.taint._sink_functions.items()
+                   if kind == "key"}
+        for site in self.taint.source_sites:
+            block = self._block_of(site.fn)
+            if site.domain == WALLCLOCK:
+                detail = ("deferred via default_factory"
+                          if site.deferred else "called")
+                self._emit(
+                    "dev.wallclock-outside-obs",
+                    "%s %s outside repro.obs; route through an "
+                    "injectable clock if the value can reach "
+                    "serialized output" % (site.dotted, detail),
+                    site.module, node=site.node, block=block)
+            elif (site.domain == ENV and site.fn is not None
+                    and site.fn.qualname in key_fns):
+                self._emit(
+                    "dev.env-to-key",
+                    "%s read inside artifact-key function %s; keys "
+                    "must be engine-free" % (site.dotted, block),
+                    site.module, node=site.node, block=block)
+
+    # --- determinism: syntactic rules -------------------------------------------
+
+    def _check_unseeded_random(self, fn):
+        for site in self.index.calls_of(fn.qualname):
+            dotted = site.external
+            if dotted in _SEEDABLE_CTORS:
+                node = site.node
+                seeded = bool(node.args) or any(
+                    kw.arg == "seed" for kw in node.keywords)
+                if not seeded:
+                    self._emit(
+                        "dev.unseeded-random",
+                        "%s() without a seed; every rerun draws a "
+                        "different sequence" % dotted,
+                        fn.module, node=node, block=self._block_of(fn))
+            elif dotted in _GLOBAL_RNG:
+                self._emit(
+                    "dev.unseeded-random",
+                    "%s uses the hidden global RNG; construct a "
+                    "seeded instance instead" % dotted,
+                    fn.module, node=site.node,
+                    block=self._block_of(fn))
+
+    def _check_unsorted_json(self, fn):
+        for site in self.index.calls_of(fn.qualname):
+            if site.external not in ("json.dump", "json.dumps"):
+                continue
+            node = site.node
+            sorted_keys = any(
+                kw.arg == "sort_keys"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords)
+            if not sorted_keys:
+                self._emit(
+                    "dev.unsorted-json",
+                    "%s without sort_keys=True; dict order leaks into "
+                    "the serialized bytes" % site.external,
+                    fn.module, node=node, block=self._block_of(fn))
+
+    def _check_unsorted_walk(self, fn):
+        module = fn.module
+        normalized = set()
+        for node in walk_scope(fn.body):
+            if (isinstance(node, ast.For)
+                    and isinstance(node.iter, ast.Call)
+                    and module.resolve_attribute(node.iter.func)
+                    in _FS_ENUM
+                    and self._walk_normalized(node)):
+                normalized.add(node.iter)
+
+        def visit(node, inside_sorted):
+            if isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Name)
+                        and node.func.id == "sorted"):
+                    inside_sorted = True
+                dotted = module.resolve_attribute(node.func)
+                if (dotted in _FS_ENUM and not inside_sorted
+                        and node not in normalized):
+                    self._emit(
+                        "dev.unsorted-walk",
+                        "%s order is OS-dependent; wrap in sorted() "
+                        "(or sort the dirs list in place) before the "
+                        "result can shape output" % dotted,
+                        module, node=node, block=self._block_of(fn))
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    continue
+                visit(child, inside_sorted)
+
+        for statement in fn.body:
+            if isinstance(statement, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue  # separate FunctionInfo covers it
+            visit(statement, False)
+
+    def _walk_normalized(self, loop):
+        """``for root, dirs, files in os.walk(...)`` counts as ordered
+        when the body immediately re-sorts the mutable dirs list —
+        ``dirs.sort()`` or ``dirs[:] = sorted(...)`` — which pins the
+        traversal order os.walk itself leaves OS-dependent."""
+        names = {element.id for element in
+                 getattr(loop.target, "elts", [])
+                 if isinstance(element, ast.Name)}
+        if not names:
+            return False
+        for statement in loop.body:
+            if (isinstance(statement, ast.Expr)
+                    and isinstance(statement.value, ast.Call)
+                    and isinstance(statement.value.func, ast.Attribute)
+                    and statement.value.func.attr == "sort"
+                    and isinstance(statement.value.func.value, ast.Name)
+                    and statement.value.func.value.id in names):
+                return True
+            if (isinstance(statement, ast.Assign)
+                    and len(statement.targets) == 1
+                    and isinstance(statement.targets[0], ast.Subscript)
+                    and isinstance(statement.targets[0].value, ast.Name)
+                    and statement.targets[0].value.id in names
+                    and isinstance(statement.value, ast.Call)
+                    and isinstance(statement.value.func, ast.Name)
+                    and statement.value.func.id == "sorted"):
+                return True
+        return False
+
+    def _check_print(self, fn):
+        if fn.module.name in _PRINT_ALLOWED:
+            return
+        for node in walk_scope(fn.body):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                    and not any(kw.arg == "file"
+                                for kw in node.keywords)):
+                self._emit(
+                    "dev.print-in-library",
+                    "print() to stdout in library code; emit through "
+                    "a formatter or pass an explicit stream",
+                    fn.module, node=node, block=self._block_of(fn))
+
+    def _check_mutable_default(self, fn):
+        if fn.is_module_body:
+            return
+        args = fn.node.args
+        for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]:
+            mutable = isinstance(default,
+                                 (ast.List, ast.Dict, ast.Set))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")):
+                mutable = True
+            if mutable:
+                self._emit(
+                    "dev.mutable-default",
+                    "mutable default argument is shared across "
+                    "calls; default to None and build inside",
+                    fn.module, node=default, line=fn.node.lineno,
+                    block=self._block_of(fn))
+
+    # --- concurrency rules -------------------------------------------------------
+
+    def _check_blocking_in_async(self, fn):
+        for site in self.index.calls_of(fn.qualname):
+            node = site.node
+            reason = None
+            if site.external in _BLOCKING_EXTERNAL:
+                reason = site.external
+            elif (isinstance(node.func, ast.Name)
+                    and node.func.id == "open"):
+                reason = "open"
+            else:
+                for target in site.targets:
+                    callee = self.index.functions[target]
+                    if callee.klass == _BLOCKING_CLIENT_CLASS:
+                        reason = target
+                        break
+            if reason:
+                self._emit(
+                    "dev.blocking-in-async",
+                    "%s blocks the event loop inside async %s; use "
+                    "an executor or an async equivalent"
+                    % (reason, fn.name),
+                    fn.module, node=node, block=self._block_of(fn))
+
+    def _collect_pool_submits(self):
+        """Every ``.submit(...)`` landing on a worker pool or the
+        ShardScheduler: ``[(fn, site, kind)]`` with kind "pool" when
+        the first argument is the entry-point callable (Executor
+        semantics) and "scheduler" when it is a spec."""
+        submits = []
+        for qualname, fn in self.index.functions.items():
+            for site in self.index.calls_of(fn.qualname):
+                kind = self._submit_kind(site)
+                if kind:
+                    submits.append((fn, site, kind))
+        return submits
+
+    def _submit_kind(self, site):
+        for target in site.targets:
+            callee = self.index.functions[target]
+            if (callee.name == "submit" and callee.klass
+                    and callee.klass.endswith(".ShardScheduler")):
+                return "scheduler"
+        external = site.external or ""
+        if not external.endswith(".submit"):
+            return None
+        owner = external.rsplit(".", 1)[0]
+        if "Executor" in owner or "Pool" in owner:
+            return "pool"
+        return None
+
+    def _check_unpicklable_submits(self, submits):
+        for fn, site, kind in submits:
+            node = site.node
+            candidates = list(node.args)
+            candidates.extend(kw.value for kw in node.keywords)
+            for position, arg in enumerate(candidates):
+                entry_point = kind == "pool" and position == 0
+                problem = self._unpicklable_reason(fn, arg,
+                                                  entry_point)
+                if problem:
+                    self._emit(
+                        "dev.unpicklable-submit",
+                        "%s submitted to a worker pool; workers can "
+                        "only import module-level functions" % problem,
+                        fn.module, node=node,
+                        block=self._block_of(fn))
+
+    def _unpicklable_reason(self, fn, arg, entry_point):
+        if isinstance(arg, ast.Lambda):
+            return "lambda"
+        if not entry_point:
+            return None
+        if isinstance(arg, ast.Name):
+            nested = "%s.%s" % (fn.qualname, arg.id)
+            info = self.index.functions.get(nested)
+            if info is not None and info.is_nested:
+                return "closure %r" % arg.id
+        if isinstance(arg, ast.Attribute):
+            receiver = None
+            if (isinstance(arg.value, ast.Name)
+                    and arg.value.id == "self" and fn.klass):
+                receiver = fn.klass
+            else:
+                receiver = self.index._receiver_type(fn, arg.value)
+            if receiver and self.index._method_on(
+                    self.index._canonical_type(receiver), arg.attr):
+                return "bound method .%s" % arg.attr
+        return None
+
+    def _check_worker_global_writes(self, submits):
+        roots = set()
+        for fn, site, kind in submits:
+            if kind != "pool" or not site.node.args:
+                continue
+            entry = site.node.args[0]
+            if isinstance(entry, ast.Name):
+                targets, _ = self.index._resolve_bare_name(fn, entry.id)
+                roots.update(targets)
+            elif isinstance(entry, ast.Attribute):
+                dotted = fn.module.resolve_attribute(entry)
+                if dotted:
+                    targets, _ = self.index._resolve_dotted(dotted)
+                    roots.update(targets)
+        for qualname in sorted(self.index.transitive_callees(roots)):
+            fn = self.index.functions[qualname]
+            declared = set()
+            for node in walk_scope(fn.body):
+                if isinstance(node, ast.Global):
+                    declared.update(node.names)
+            if not declared:
+                continue
+            written = set()
+            for node in walk_scope(fn.body):
+                if isinstance(node, (ast.Assign, ast.AugAssign,
+                                     ast.AnnAssign)):
+                    targets = (node.targets
+                               if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        if (isinstance(target, ast.Name)
+                                and target.id in declared):
+                            written.add(target.id)
+            if written:
+                self._emit(
+                    "dev.worker-global-write",
+                    "writes module global(s) %s and is reachable "
+                    "from a pool entry point; persistent workers "
+                    "carry this state into the next job"
+                    % ", ".join(sorted(written)),
+                    fn.module, node=fn.node,
+                    block=self._block_of(fn))
+
+    # --- contract rules ----------------------------------------------------------
+
+    def _check_event_handlers(self):
+        for info in self.index.classes.values():
+            if not self._subscribes(info):
+                continue
+            for name, qualname in info.methods.items():
+                if not name.startswith("on_"):
+                    continue
+                fn = self.index.functions[qualname]
+                params = fn.param_names()
+                if len(params) < 2:
+                    continue
+                event = params[1]
+                self._check_handler_mutation(fn, event)
+
+    def _subscribes(self, info):
+        seen = set()
+        current = info
+        while current is not None and current.qualname not in seen:
+            seen.add(current.qualname)
+            for base in current.bases:
+                canonical = self.index._canonical_type(base)
+                if (canonical == _EVENT_BASE
+                        or base.endswith("EventSubscriber")):
+                    return True
+            current = self.index._parent_class(current)
+        return False
+
+    def _check_handler_mutation(self, fn, event):
+        def rooted_in_event(node):
+            while isinstance(node, (ast.Attribute, ast.Subscript)):
+                node = node.value
+            return isinstance(node, ast.Name) and node.id == event
+
+        for node in walk_scope(fn.body):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (isinstance(target, (ast.Attribute, ast.Subscript))
+                        and rooted_in_event(target)):
+                    self._emit(
+                        "dev.event-handler-mutates",
+                        "handler %s writes into its event; "
+                        "subscribers observe, they do not edit"
+                        % fn.name,
+                        fn.module, node=node, block=self._block_of(fn))
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                    and rooted_in_event(node.func.value)):
+                self._emit(
+                    "dev.event-handler-mutates",
+                    "handler %s calls %s() on its event; subscribers "
+                    "observe, they do not edit"
+                    % (fn.name, node.func.attr),
+                    fn.module, node=node, block=self._block_of(fn))

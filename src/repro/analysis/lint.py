@@ -98,6 +98,12 @@ class LintReport:
     def has_errors(self):
         return bool(self.errors)
 
+    @property
+    def exit_code(self):
+        """0 clean, 1 any error-severity finding (warnings pass)."""
+        from ..diagnostics import exit_code_for
+        return exit_code_for(self.findings)
+
     def worst(self):
         return worst_severity(self.findings)
 

@@ -39,6 +39,7 @@ import itertools
 import signal
 import threading
 from collections import deque
+from functools import partial
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -48,6 +49,10 @@ from ..errors import CampaignError
 from .executor import shard_worker
 
 DEFAULT_MAX_RETRIES = 2
+
+
+def _noop():
+    """Resolution callback for shards dropped during a drain."""
 
 
 class SchedulerClosed(CampaignError):
@@ -268,8 +273,12 @@ class ShardScheduler:
             else:
                 job.attempts[index] += 1
                 job.ok += 1
-                self._resolve(job, index, lambda: job.listener.shard_ok(
-                    index, job.attempts[index], result_dict, elapsed))
+                # partial binds the attempt count NOW; a lambda would
+                # re-read job.attempts at call time and report whatever
+                # a later retry of another attempt left there.
+                self._resolve(job, index, partial(
+                    job.listener.shard_ok, index, job.attempts[index],
+                    result_dict, elapsed))
             self._dispatch()
 
     def _note_attempt_failed(self, job, index, error):
@@ -280,7 +289,7 @@ class ShardScheduler:
                 # as unrun so a checkpointed resume re-attempts it.
                 job.drained = True
                 job.dropped.append(index)
-                self._resolve(job, index, lambda: None)
+                self._resolve(job, index, _noop)
                 return
             self.stats["retries"] += 1
             obs.inc("scheduler_shard_retries_total",
@@ -292,8 +301,9 @@ class ShardScheduler:
             return
         job.failed += 1
         self.stats["failures"] += 1
-        self._resolve(job, index, lambda: job.listener.shard_failed(
-            index, job.attempts[index], str(error)))
+        self._resolve(job, index, partial(
+            job.listener.shard_failed, index, job.attempts[index],
+            str(error)))
 
     def _resolve(self, job, index, notify):
         job.unresolved.discard(index)

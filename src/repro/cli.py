@@ -11,6 +11,7 @@ Subcommands::
     ftspm serve [--port P] [--workers N]       async HTTP job service
     ftspm submit KIND WORKLOAD [--param k=v]   submit a job to 'serve'
     ftspm lint TARGET [...]                    static diagnostics (CI gate)
+    ftspm devlint [FILE ...]                   self-check the repro package
     ftspm diff [A B | --against DIR]           structural mapping diff
     ftspm golden [--update] [--force]          golden corpus check/refresh
     ftspm disasm WORKLOAD                      disassemble a workload
@@ -109,6 +110,7 @@ def _cmd_profile(args):
 
 def _cmd_lint(args):
     from .analysis import lint_program, lint_source
+    from .diagnostics import emit_report
 
     worst_exit = 0
     for target in args.targets:
@@ -121,13 +123,86 @@ def _cmd_lint(args):
                 raise ReproError(
                     "workload %r has no program to lint" % target)
             report = lint_program(program, source=target)
-        if args.format == "json":
-            print(report.to_json())
-        else:
-            print(report.to_text())
-        if report.has_errors:
-            worst_exit = 1
+        worst_exit = max(worst_exit, emit_report(report, fmt=args.format))
     return worst_exit
+
+
+#: the committed suppression file, looked up at the repo root
+DEVLINT_BASELINE = "devlint-baseline.json"
+
+
+def _find_devlint_baseline():
+    """The default baseline: CWD first, then next to ``src/``."""
+    if os.path.exists(DEVLINT_BASELINE):
+        return DEVLINT_BASELINE
+    from .analysis.hostlint.modules import package_root
+    candidate = os.path.join(
+        os.path.dirname(os.path.dirname(package_root())),
+        DEVLINT_BASELINE)
+    return candidate if os.path.exists(candidate) else None
+
+
+def _devlint_module(path):
+    """Parse one explicitly named .py file for ``repro devlint FILE``."""
+    from .analysis.hostlint import parse_module
+
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    normalized = path.replace(os.sep, "/")
+    marker = normalized.rfind("repro/")
+    relpath = normalized[marker:] if marker >= 0 else normalized
+    dotted = relpath[:-3] if relpath.endswith(".py") else relpath
+    if dotted.endswith("/__init__"):
+        dotted = dotted[:-len("/__init__")]
+    return parse_module(dotted.replace("/", "."), source,
+                        path=path, relpath=relpath)
+
+
+def _cmd_devlint(args):
+    from .analysis.hostlint import Baseline, DEVLINT_RULES, lint_modules, \
+        lint_package
+    from .diagnostics import EXIT_ERROR, emit_report
+
+    if args.list_rules:
+        for rule, (severity, title) in DEVLINT_RULES.items():
+            print("%-28s %-8s %s" % (rule, severity.value, title))
+        return 0
+
+    try:
+        baseline = None
+        if not args.no_baseline and not args.write_baseline:
+            path = args.baseline
+            if path is None:
+                path = _find_devlint_baseline()  # optional by default
+            elif not os.path.exists(path):
+                raise ReproError("baseline file %r not found" % path)
+            if path is not None:
+                baseline = Baseline.load(path)
+        if args.paths:
+            modules = [_devlint_module(path) for path in args.paths]
+            report = lint_modules(modules, baseline=baseline,
+                                  source=",".join(args.paths))
+        else:
+            report = lint_package(baseline=baseline)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        # Re-suppress everything currently firing; the developer then
+        # fills in the mandatory justification for each new entry.
+        refreshed = Baseline.from_findings(
+            report.all_findings(),
+            justification="TODO: justify or fix")
+        refreshed.save(args.baseline or DEVLINT_BASELINE)
+        print("wrote %d suppression(s) to %s"
+              % (len(refreshed.entries),
+                 args.baseline or DEVLINT_BASELINE), file=sys.stderr)
+
+    code = emit_report(report, fmt=args.format, out=args.out)
+    # A capture run succeeded once the file is written; the next plain
+    # run is the one that gates.
+    return 0 if args.write_baseline else code
 
 
 def _cmd_map(args):
@@ -570,7 +645,8 @@ def _diff_paths(args, thresholds):
 
 
 def _cmd_diff(args):
-    from .diff import check_mapping_golden, render_json, render_text
+    from .diff import check_mapping_golden
+    from .diagnostics import emit_report
 
     thresholds = _diff_thresholds(args)
     try:
@@ -594,17 +670,9 @@ def _cmd_diff(args):
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
-    if args.json:
-        print(render_json(report))
-    else:
-        print(render_text(report))
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(render_json(report))
-            handle.write("\n")
-        print("wrote %s" % args.out,
-              file=sys.stderr if args.json else sys.stdout)
-    return report.exit_code
+    return emit_report(report,
+                       fmt="json" if args.json else "text",
+                       out=args.out)
 
 
 def _cmd_disasm(args):
@@ -786,6 +854,32 @@ def build_parser():
                         choices=("text", "json"),
                         help="finding output format")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_devlint = sub.add_parser(
+        "devlint",
+        help="determinism/concurrency checks over the repro package itself")
+    p_devlint.add_argument(
+        "paths", nargs="*", metavar="FILE",
+        help="specific .py files to check (default: the whole package)")
+    p_devlint.add_argument("--format", default="text",
+                           choices=("text", "json"),
+                           help="finding output format")
+    p_devlint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppression file (default: %s at the repo root, "
+             "if present)" % DEVLINT_BASELINE)
+    p_devlint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, including baselined ones")
+    p_devlint.add_argument(
+        "--write-baseline", action="store_true",
+        help="capture current findings as suppressions (justifications "
+             "left as TODO placeholders)")
+    p_devlint.add_argument("--out", metavar="FILE",
+                           help="also write the JSON report here")
+    p_devlint.add_argument("--list-rules", action="store_true",
+                           help="print the rule catalog and exit")
+    p_devlint.set_defaults(func=_cmd_devlint)
 
     p_map = sub.add_parser("map", help="compute a mapping plan")
     _add_workload_arguments(p_map)

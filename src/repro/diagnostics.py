@@ -19,6 +19,14 @@ import json
 from dataclasses import dataclass, field
 
 
+#: the one exit-code contract every report-producing CLI obeys
+#: (``repro lint``, ``repro diff``, ``repro devlint``):
+#: 0 = clean, 1 = findings/violations, 2 = the producer itself failed.
+EXIT_CLEAN = 0
+EXIT_VIOLATION = 1
+EXIT_ERROR = 2
+
+
 class Severity(enum.Enum):
     """How bad a finding is.  ``ERROR`` findings gate CI."""
 
@@ -104,6 +112,19 @@ def worst_severity(findings):
     return worst
 
 
+def exit_code_for(findings, gate=Severity.ERROR):
+    """Exit code for a findings list under one gate severity.
+
+    ``repro lint`` gates on errors (warnings inform, they do not
+    fail); ``repro devlint`` passes ``gate=Severity.INFO`` because an
+    unbaselined finding of *any* severity is a new violation.
+    """
+    worst = worst_severity(findings)
+    if worst is not None and worst.rank >= gate.rank:
+        return EXIT_VIOLATION
+    return EXIT_CLEAN
+
+
 def severity_counts(findings):
     counts = {severity.value: 0 for severity in Severity}
     for finding in findings:
@@ -133,6 +154,37 @@ def format_findings_json(findings, source=""):
         "summary": severity_counts(findings),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def emit_report(report, fmt="text", out=None, stream=None,
+                error_stream=None):
+    """Render a report object and return its exit code.
+
+    The one renderer behind ``repro lint``, ``repro diff``, and
+    ``repro devlint``.  ``report`` is anything with ``to_text()``,
+    ``to_json()``, and an ``exit_code`` attribute or property:
+
+    * the chosen format prints to ``stream`` (stdout by default);
+    * ``out``, when given, always receives the JSON rendering — CI
+      archives machine-readable reports regardless of what a human
+      watched scroll by — and the "wrote" notice goes to stderr when
+      the main stream is JSON so it never corrupts piped output.
+    """
+    import sys
+
+    stream = stream if stream is not None else sys.stdout
+    error_stream = (error_stream if error_stream is not None
+                    else sys.stderr)
+    rendered = report.to_json() if fmt == "json" else report.to_text()
+    print(rendered, file=stream)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print("wrote %s" % out,
+              file=error_stream if fmt == "json" else stream)
+    exit_code = report.exit_code
+    return exit_code() if callable(exit_code) else exit_code
 
 
 @dataclass

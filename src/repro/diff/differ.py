@@ -434,6 +434,14 @@ class DiffSetReport:
         return max((_EXIT_BY_STATUS[entry.status]
                     for entry in self.entries), default=0)
 
+    def to_text(self):
+        from .render import render_text
+        return render_text(self)
+
+    def to_json(self):
+        from .render import render_json
+        return render_json(self)
+
     def status_counts(self):
         counts = {STATUS_CLEAN: 0, STATUS_DRIFT: 0,
                   STATUS_VIOLATION: 0, STATUS_ERROR: 0}

@@ -166,9 +166,11 @@ class ReproService:
 
     def __init__(self, host="127.0.0.1", port=0, workers=2,
                  job_threads=8, cache_dir=None, engine=None,
-                 injector=None):
+                 injector=None, clock=None):
         self.context = EvaluationContext(store=cache_dir, engine=engine)
-        self.registry = JobRegistry()
+        # ``clock`` stamps job timestamps; inject a fake in tests to
+        # pin submitted_at/finished_at in status responses.
+        self.registry = JobRegistry(clock=clock)
         self.coalescer = Coalescer()
         self.scheduler = ShardScheduler(workers=workers)
         self.server = HttpServer(self._handle, host=host, port=port)

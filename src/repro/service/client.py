@@ -40,7 +40,10 @@ class ServiceClient:
             body = None
             headers = {}
             if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
+                # sort_keys keeps request bodies byte-stable, so wire
+                # captures and request-log diffs reproduce exactly
+                body = json.dumps(payload,
+                                  sort_keys=True).encode("utf-8")
                 headers["Content-Type"] = "application/json"
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()

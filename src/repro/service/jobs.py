@@ -14,7 +14,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 
 class JobState:
@@ -42,10 +42,18 @@ class Job:
     coalesced_with: Optional[str] = None
     #: "inflight" | "store" | None — how (if) this job avoided computing
     coalesced_from: Optional[str] = None
-    submitted_at: float = field(default_factory=time.time)
+    #: injectable clock: timestamps come from here, never from
+    #: ``time.time()`` inline, so tests pin them and status responses
+    #: are deterministic under a fake clock
+    clock: Callable[[], float] = time.time
+    submitted_at: Optional[float] = None
     finished_at: Optional[float] = None
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
+
+    def __post_init__(self):
+        if self.submitted_at is None:
+            self.submitted_at = self.clock()
 
     # --- transitions (thread-safe) ----------------------------------------------
 
@@ -57,13 +65,13 @@ class Job:
         with self._lock:
             self.result = result
             self.state = JobState.DONE
-            self.finished_at = time.time()
+            self.finished_at = self.clock()
 
     def mark_failed(self, error):
         with self._lock:
             self.error = str(error)
             self.state = JobState.FAILED
-            self.finished_at = time.time()
+            self.finished_at = self.clock()
 
     def update_progress(self, **fields):
         with self._lock:
@@ -96,15 +104,16 @@ class Job:
 class JobRegistry:
     """All jobs this server has seen, addressable by id."""
 
-    def __init__(self):
+    def __init__(self, clock=None):
         self._lock = threading.Lock()
         self._jobs = {}
         self._ids = itertools.count(1)
+        self._clock = clock if clock is not None else time.time
 
     def create(self, kind, params, key):
         with self._lock:
             job = Job(id="job-%06d" % next(self._ids), kind=kind,
-                      params=params, key=key)
+                      params=params, key=key, clock=self._clock)
             self._jobs[job.id] = job
             return job
 

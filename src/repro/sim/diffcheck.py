@@ -329,7 +329,8 @@ def corpus_file_digests(directory):
     say exactly which golden digests changed.
     """
     digests = {}
-    for root, _, files in os.walk(directory):
+    for root, dirs, files in os.walk(directory):
+        dirs.sort()  # deterministic traversal → deterministic dict order
         for name in sorted(files):
             if not name.endswith(".json"):
                 continue
