@@ -88,6 +88,7 @@ PACKAGE_SINKS = {
     ("repro.campaign.checkpoint", "RunDirectory", "append_shard"):
         "checkpoint",
     ("repro.service.http", "HttpResponse", "json"): "response",
+    ("repro.obs.ledger", "RunLedger", "append"): "ledger",
 }
 
 

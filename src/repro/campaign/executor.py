@@ -19,7 +19,9 @@ from __future__ import annotations
 import os
 import time
 
+from .. import obs
 from ..errors import CampaignError
+from ..obs import context as obs_context
 
 #: Internal test hook: comma-separated shard indices that always fail.
 FAIL_SHARDS_ENV = "REPRO_CAMPAIGN_FAIL_SHARDS"
@@ -75,8 +77,23 @@ def execute_shard(spec, index, engine=None, injector=None):
             return evaluator.run(trials=spec.shard_trials(index))
 
 
-def shard_worker(spec, index, engine=None, injector=None):
-    """Pool entry point: returns ``(index, result_dict, elapsed)``."""
+def shard_worker(spec, index, engine=None, injector=None, trace_ctx=None):
+    """Pool entry point: ``(index, result_dict, elapsed, spans)``.
+
+    ``trace_ctx`` is the parent's serialized span context (see
+    :func:`repro.obs.context.capture`); when present the shard runs
+    under a real worker-side ``campaign.shard`` span and the exported
+    span records travel back in the result tuple for the parent to
+    stitch into its trace.  When absent (tracing off) ``spans`` is
+    empty and no obs code runs in the worker.
+    """
     start = time.perf_counter()
-    result = execute_shard(spec, index, engine=engine, injector=injector)
-    return index, result.to_dict(), time.perf_counter() - start
+    with obs_context.recording(trace_ctx) as collector:
+        with obs.span("campaign.shard", category="campaign",
+                      attrs={"shard": index,
+                             "trials": spec.shard_trials(index),
+                             "seed": spec.shard_seed(index)}):
+            result = execute_shard(spec, index, engine=engine,
+                                   injector=injector)
+    return (index, result.to_dict(), time.perf_counter() - start,
+            collector.records)

@@ -38,11 +38,13 @@ from ..config import engine_knob, injector_knob
 from ..errors import CampaignError
 from ..eval.tables import render_table
 from ..faults.injector import CampaignResult
+from ..obs import context as obs_context
 from .checkpoint import RunDirectory
 from .executor import FAIL_SHARDS_ENV  # noqa: F401  (re-export: test hook)
 from .executor import execute_shard as _execute_shard
 from .progress import ProgressEvent, progress_to_metrics
 from .scheduler import ShardListener, ShardScheduler
+from .seeding import SAMPLING_DISCIPLINE
 from .stats import wilson_interval
 
 #: synthetic Chrome-trace lane base so overlapping shard spans render on
@@ -268,24 +270,65 @@ class CampaignRunner:
         pending = [index for index in range(self.spec.shard_count)
                    if index not in records]
         state = _RunState(self, records, start)
-        with obs.span("campaign.run", category="campaign", attrs={
-                "shards": self.spec.shard_count,
-                "trials": self.spec.trials,
-                "jobs": self.jobs,
-                "resumed_shards": len(records)}) as run_span:
-            state.notify("start")
-            if pending:
-                if self.jobs == 1 and self.scheduler is None:
-                    self._run_serial(pending, state)
-                else:
-                    self._run_scheduled(pending, state)
-            summary = state.summary()
-            state.notify("done")
-            run_span.set_attr("trials_completed",
-                              summary.trials_completed)
-            run_span.set_attr("failed_shards",
-                              len(summary.failed_shards))
+        entry = self._ledger_begin(len(records))
+        try:
+            with obs.span("campaign.run", category="campaign", attrs={
+                    "shards": self.spec.shard_count,
+                    "trials": self.spec.trials,
+                    "jobs": self.jobs,
+                    "resumed_shards": len(records)}) as run_span:
+                state.notify("start")
+                if pending:
+                    if self.jobs == 1 and self.scheduler is None:
+                        self._run_serial(pending, state)
+                    else:
+                        self._run_scheduled(pending, state)
+                summary = state.summary()
+                state.notify("done")
+                run_span.set_attr("trials_completed",
+                                  summary.trials_completed)
+                run_span.set_attr("failed_shards",
+                                  len(summary.failed_shards))
+        except Exception:
+            self._ledger_finish(entry, "failed", None, state)
+            raise
+        self._ledger_finish(
+            entry,
+            "drained" if summary.drained
+            else ("ok" if summary.complete else "partial"),
+            summary, state)
         return summary
+
+    # --- run ledger -------------------------------------------------------------
+
+    def _ledger_begin(self, resumed_shards):
+        ledger = obs.current_ledger()
+        if ledger is None:
+            return None
+        return ledger.begin(
+            "campaign",
+            key=self.spec.fingerprint(),
+            knobs={"engine": self.engine, "injector": self.injector},
+            params={"trials": self.spec.trials,
+                    "seed": self.spec.seed,
+                    "shards": self.spec.shard_count,
+                    "shard_size": self.spec.shard_size,
+                    "jobs": self.jobs,
+                    "resumed_shards": resumed_shards},
+            sampling=SAMPLING_DISCIPLINE)
+
+    def _ledger_finish(self, entry, status, summary, state):
+        if entry is None:
+            return
+        stats = {"steals": state.steals, "retries": state.retries}
+        if summary is not None:
+            stats.update({
+                "counts": summary.result.to_dict(),
+                "trials_completed": summary.trials_completed,
+                "fresh_trials": summary.fresh_trials,
+                "failed_shards": len(summary.failed_shards),
+            })
+        obs.current_ledger().finish(entry, status=status, stats=stats)
 
     def _run_serial(self, pending, state):
         for index in pending:
@@ -313,14 +356,21 @@ class CampaignRunner:
         if private:
             scheduler = ShardScheduler(workers=self.jobs)
         try:
+            # Capture the open campaign.run span so worker processes
+            # record real, correctly parented shard spans; the runner
+            # then skips its synthetic lane spans for this run.
+            trace_ctx = obs_context.capture()
+            state.worker_traced = trace_ctx is not None
             job = scheduler.submit(
                 self.spec, indices=pending, max_retries=self.max_retries,
                 engine=self.engine, injector=self.injector,
-                listener=_RunnerListener(state))
+                listener=_RunnerListener(state), trace_ctx=trace_ctx)
             self._active_job = job
             if self._drain_requested.is_set():
                 job.drop_pending()  # the drain raced the submit
             job.wait()
+            state.steals += job.steals
+            state.retries += job.retries
             if job.drained:
                 state.drained = True
         finally:
@@ -365,6 +415,9 @@ class _RunState:
         self.start = start
         self.fresh_trials = 0
         self.drained = False
+        self.worker_traced = False  # workers record their own spans
+        self.steals = 0
+        self.retries = 0
 
     # --- shard outcomes ---------------------------------------------------------
 
@@ -381,22 +434,27 @@ class _RunState:
         self.records[index] = record
         self.fresh_trials += record.trials
         self._checkpoint(record)
-        # The shard executed elsewhere (a worker process, or inline just
-        # now); file its span from the measured elapsed time, on a
-        # per-shard lane so parallel shards render side by side.
-        obs.add_complete_span(
-            "campaign.shard", elapsed or 0.0, category="campaign",
-            attrs={"shard": index, "trials": record.trials,
-                   "attempts": attempts, "seed": record.seed},
-            tid=_SHARD_LANE_BASE + index)
+        # The shard executed elsewhere (a worker process, or inline
+        # just now); file its span from the measured elapsed time, on
+        # a per-shard lane so parallel shards render side by side —
+        # unless the workers traced themselves (worker_traced), in
+        # which case their real spans arrive via the scheduler's
+        # ingest and a synthetic twin would duplicate them.
+        if not self.worker_traced:
+            obs.add_complete_span(
+                "campaign.shard", elapsed or 0.0, category="campaign",
+                attrs={"shard": index, "trials": record.trials,
+                       "attempts": attempts, "seed": record.seed},
+                tid=_SHARD_LANE_BASE + index)
         self.notify("shard-ok", shard=index, attempt=attempts,
                     shard_elapsed=elapsed)
 
     def note_failure(self, index, attempts, error, final=False):
         """Record a failed attempt; returns True when a retry is due."""
         if not final and self.runner._may_retry(attempts):
+            self.retries += 1  # serial path; scheduled retries are
             self.notify("shard-retry", shard=index, attempt=attempts,
-                        error=str(error))
+                        error=str(error))  # counted on the ShardJob
             return True
         record = ShardRecord(
             index=index,

@@ -46,6 +46,7 @@ from contextlib import contextmanager
 
 from .. import obs
 from ..errors import CampaignError
+from ..obs import context as obs_context
 from .executor import shard_worker
 
 DEFAULT_MAX_RETRIES = 2
@@ -82,7 +83,7 @@ class ShardJob:
     """Handle for one submitted job: its deque, progress, and waiters."""
 
     def __init__(self, job_id, spec, indices, max_retries, engine,
-                 injector, listener):
+                 injector, listener, trace_ctx=None):
         self.id = job_id
         self.spec = spec
         self.indices = list(indices)
@@ -90,12 +91,15 @@ class ShardJob:
         self.engine = engine
         self.injector = injector
         self.listener = listener or ShardListener()
+        self.trace_ctx = trace_ctx  # parent span context for workers
         self.pending = deque(self.indices)
         self.unresolved = set(self.indices)
         self.attempts = {index: 0 for index in self.indices}
         self.dropped = []  # shards never started because of a drain
         self.ok = 0
         self.failed = 0
+        self.steals = 0  # this job's shards run by another job's slot
+        self.retries = 0  # failed attempts requeued for this job
         self.drained = False
         self.done = threading.Event()
         self._scheduler = None
@@ -150,11 +154,14 @@ class ShardScheduler:
     # --- submission ------------------------------------------------------------
 
     def submit(self, spec, indices=None, max_retries=DEFAULT_MAX_RETRIES,
-               engine=None, injector=None, listener=None):
+               engine=None, injector=None, listener=None, trace_ctx=None):
         """Queue a job's shards; returns its :class:`ShardJob` handle.
 
         ``indices`` defaults to every shard of ``spec``; a resumed
         campaign passes only the shards its checkpoint is missing.
+        ``trace_ctx`` (from :func:`repro.obs.context.capture`) rides
+        in every task payload so worker-side spans parent under the
+        submitting run's span.
         """
         if indices is None:
             indices = range(spec.shard_count)
@@ -164,7 +171,8 @@ class ShardScheduler:
             if self._draining:
                 raise SchedulerClosed("scheduler is draining")
             job = ShardJob(next(self._ids), spec, indices, max_retries,
-                           engine, injector, listener)
+                           engine, injector, listener,
+                           trace_ctx=trace_ctx)
             job._scheduler = self
             self.stats["jobs_submitted"] += 1
             if not job.unresolved:  # zero shards: trivially complete
@@ -189,6 +197,7 @@ class ShardScheduler:
             job, index, stolen = picked
             if stolen:
                 self.stats["steals"] += 1
+                job.steals += 1
                 obs.inc("scheduler_steals_total",
                         help="shards stolen from another job's deque")
             self._launch(slot, job, index)
@@ -227,14 +236,14 @@ class ShardScheduler:
         try:
             return self._ensure_pool().submit(
                 shard_worker, job.spec, index,
-                job.engine, job.injector)
+                job.engine, job.injector, job.trace_ctx)
         except BrokenProcessPool:
             # The pool broke between a callback and this dispatch;
             # rebuild once — a fresh pool cannot be broken yet.
             self._discard_pool()
             return self._ensure_pool().submit(
                 shard_worker, job.spec, index,
-                job.engine, job.injector)
+                job.engine, job.injector, job.trace_ctx)
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -260,7 +269,7 @@ class ShardScheduler:
             slot, job, index = entry
             slot.busy = False
             try:
-                _, result_dict, elapsed = future.result()
+                _, result_dict, elapsed, spans = future.result()
             except BrokenProcessPool:
                 # A worker died.  Every in-flight future resolves with
                 # this same exception and each callback retries its own
@@ -273,6 +282,9 @@ class ShardScheduler:
             else:
                 job.attempts[index] += 1
                 job.ok += 1
+                # Worker-recorded spans stitch into this process's
+                # trace (the listener API stays untouched).
+                obs_context.ingest(spans)
                 # partial binds the attempt count NOW; a lambda would
                 # re-read job.attempts at call time and report whatever
                 # a later retry of another attempt left there.
@@ -292,6 +304,7 @@ class ShardScheduler:
                 self._resolve(job, index, _noop)
                 return
             self.stats["retries"] += 1
+            job.retries += 1
             obs.inc("scheduler_shard_retries_total",
                     help="shard attempts retried after a failure")
             job.listener.shard_retry(index, job.attempts[index],
@@ -317,6 +330,10 @@ class ShardScheduler:
         for slot in self._slots:
             if slot.job is job:
                 slot.job = None
+        if obs.enabled():
+            gauge = obs.registry().get("scheduler_job_queue_depth")
+            if gauge is not None:
+                gauge.remove(job="job-%d" % job.id)
         job.done.set()
 
     # --- drain / lifecycle ------------------------------------------------------
@@ -414,6 +431,10 @@ class ShardScheduler:
                       help="shards currently on the worker pool")
         obs.set_gauge("scheduler_jobs_active", len(self._jobs),
                       help="jobs with unresolved shards")
+        for job in self._jobs:
+            obs.set_gauge("scheduler_job_queue_depth", len(job.pending),
+                          help="shards queued per active job",
+                          job="job-%d" % job.id)
 
 
 @contextmanager

@@ -10,6 +10,7 @@ Subcommands::
     ftspm campaign WORKLOAD [--jobs N]         parallel, resumable campaign
     ftspm serve [--port P] [--workers N]       async HTTP job service
     ftspm submit KIND WORKLOAD [--param k=v]   submit a job to 'serve'
+    ftspm runs list|show|compare [...]         query the run ledger
     ftspm lint TARGET [...]                    static diagnostics (CI gate)
     ftspm devlint [FILE ...]                   self-check the repro package
     ftspm diff [A B | --against DIR]           structural mapping diff
@@ -385,7 +386,8 @@ def _cmd_serve(args):
                            workers=args.workers,
                            job_threads=args.job_threads,
                            cache_dir=args.cache_dir, engine=args.engine,
-                           injector=args.injector)
+                           injector=args.injector,
+                           ledger_path=args.ledger)
 
     def announce():
         print("serving on %s (workers=%d, cache=%s)"
@@ -441,6 +443,130 @@ def _cmd_submit(args):
                          % (args.host, args.port, error)) from None
     print(json.dumps(payload, indent=1, sort_keys=True))
     return 0 if final["state"] == "done" else 1
+
+
+def _runs_ledger_path(args):
+    import os
+
+    if args.ledger:
+        return args.ledger
+    from_env = os.environ.get("REPRO_LEDGER")
+    if from_env:
+        return from_env
+    raise ReproError("no ledger given (use --ledger FILE.jsonl or set "
+                     "REPRO_LEDGER)")
+
+
+def _flatten_record(record, prefix=""):
+    """Nested record -> sorted ``{"knobs.engine": ...}`` dotted keys."""
+    flat = {}
+    for name in sorted(record):
+        value = record[name]
+        if isinstance(value, dict):
+            flat.update(_flatten_record(value, prefix + name + "."))
+        else:
+            flat[prefix + name] = value
+    return flat
+
+
+def _runs_get(ledger, run_id):
+    record = ledger.get(run_id)
+    if record is None:
+        raise ReproError("no run %r in %s" % (run_id, ledger.path))
+    return record
+
+
+def _cmd_runs_list(args):
+    import json
+
+    from .eval.tables import render_table
+    from .obs.ledger import RunLedger, parse_since
+
+    ledger = RunLedger(_runs_ledger_path(args))
+    since = parse_since(args.since) if args.since else None
+    records = ledger.read(since=since)
+    if args.json:
+        print(json.dumps({"count": len(records), "runs": records},
+                         indent=1, sort_keys=True))
+        return 0
+    rows = [[record["id"], record["kind"], record["status"],
+             "%.3f" % record["started_at"], "%.3f" % record["wall_s"],
+             (record.get("key") or "-")[:12]]
+            for record in records]
+    print(render_table(["Run", "Kind", "Status", "Started", "Wall s",
+                        "Key"], rows,
+                       title="run ledger: %d record(s)" % len(records)))
+    return 0
+
+
+def _cmd_runs_show(args):
+    import json
+
+    from .obs.ledger import RunLedger
+
+    record = _runs_get(RunLedger(_runs_ledger_path(args)), args.id)
+    if args.json:
+        print(json.dumps(record, indent=1, sort_keys=True))
+        return 0
+    # Flattened sorted keys with JSON-rendered values: two invocations
+    # over the same ledger replay the record byte-identically.
+    flat = _flatten_record(record)
+    width = max(len(name) for name in flat)
+    for name in sorted(flat):
+        print("%-*s  %s" % (width, name,
+                            json.dumps(flat[name], sort_keys=True)))
+    return 0
+
+
+def _cmd_runs_compare(args):
+    import json
+
+    from .eval.tables import render_table
+    from .obs.ledger import RunLedger
+
+    ledger = RunLedger(_runs_ledger_path(args))
+    left = _runs_get(ledger, args.a)
+    right = _runs_get(ledger, args.b)
+    flat_a = _flatten_record(left)
+    flat_b = _flatten_record(right)
+    # Identity fields always differ between two runs; skip the noise.
+    skip = {"id", "pid", "started_at"}
+    diff = {}
+    for name in sorted((set(flat_a) | set(flat_b)) - skip):
+        value_a = flat_a.get(name)
+        value_b = flat_b.get(name)
+        if value_a == value_b:
+            continue
+        entry = {"a": value_a, "b": value_b}
+        if (isinstance(value_a, (int, float))
+                and isinstance(value_b, (int, float))
+                and not isinstance(value_a, bool)
+                and not isinstance(value_b, bool)):
+            entry["delta"] = round(value_b - value_a, 9)
+        diff[name] = entry
+    if args.json:
+        print(json.dumps({"a": left["id"], "b": right["id"],
+                          "diff": diff}, indent=1, sort_keys=True))
+        return 0
+    rows = [[name, json.dumps(entry["a"], sort_keys=True),
+             json.dumps(entry["b"], sort_keys=True),
+             "%+.6g" % entry["delta"] if "delta" in entry else "-"]
+            for name, entry in sorted(diff.items())]
+    print(render_table(["Field", left["id"], right["id"], "Delta"],
+                       rows, title="%s vs %s: %d field(s) differ"
+                       % (left["id"], right["id"], len(diff))))
+    return 0
+
+
+def _evaluation_params(args):
+    """The knob-ish argparse fields worth pinning in a ledger record."""
+    params = {"command": args.command}
+    for name in ("workload", "structure", "trials", "seed", "shard_size",
+                 "jobs", "array_words", "outer_iterations", "scale"):
+        value = getattr(args, name, None)
+        if value is not None:
+            params[name] = value
+    return params
 
 
 def _cmd_trace(args):
@@ -702,6 +828,9 @@ def _add_obs_arguments(parser):
     parser.add_argument("--metrics", metavar="FILE", dest="metrics",
                         help="record counters/histograms and write them "
                              "as Prometheus text")
+    parser.add_argument("--ledger", metavar="FILE.jsonl", dest="ledger",
+                        help="append one run-ledger record for this "
+                             "invocation (query it with 'runs')")
 
 
 def _add_profile_flavor_argument(parser):
@@ -953,6 +1082,9 @@ def build_parser():
                          help="artifact store: results persist here and "
                               "identical jobs are served from it, even "
                               "across restarts")
+    p_serve.add_argument("--ledger", metavar="FILE.jsonl",
+                         help="append a run-ledger record per job and "
+                              "expose it read-only at /v1/runs")
     _add_engine_argument(p_serve)
     _add_injector_argument(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
@@ -979,6 +1111,41 @@ def build_parser():
     _add_injector_argument(p_submit)
     p_submit.set_defaults(func=_cmd_submit)
 
+    p_runs = sub.add_parser(
+        "runs", help="query the run ledger (list/show/compare)")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_runs_arguments(parser):
+        parser.add_argument("--ledger", metavar="FILE.jsonl",
+                            help="ledger to query (default: the "
+                                 "REPRO_LEDGER environment variable)")
+        parser.add_argument("--json", action="store_true",
+                            help="print machine-readable JSON instead "
+                                 "of a table")
+
+    p_runs_list = runs_sub.add_parser(
+        "list", help="list ledger records, newest last")
+    p_runs_list.add_argument("--since", metavar="WHEN",
+                             help="only runs started at/after WHEN: "
+                                  "epoch seconds, an ISO date/time, or "
+                                  "an age like 90s/30m/12h/7d")
+    _add_runs_arguments(p_runs_list)
+    p_runs_list.set_defaults(func=_cmd_runs_list)
+
+    p_runs_show = runs_sub.add_parser(
+        "show", help="replay one run's knobs/durations/stats")
+    p_runs_show.add_argument("id",
+                             help="run id (a unique prefix works)")
+    _add_runs_arguments(p_runs_show)
+    p_runs_show.set_defaults(func=_cmd_runs_show)
+
+    p_runs_compare = runs_sub.add_parser(
+        "compare", help="diff two runs' knobs, durations and stats")
+    p_runs_compare.add_argument("a", help="first run id")
+    p_runs_compare.add_argument("b", help="second run id")
+    _add_runs_arguments(p_runs_compare)
+    p_runs_compare.set_defaults(func=_cmd_runs_compare)
+
     p_disasm = sub.add_parser("disasm", help="disassemble a workload")
     _add_workload_arguments(p_disasm)
     p_disasm.set_defaults(func=_cmd_disasm)
@@ -1002,19 +1169,44 @@ def main(argv=None):
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if trace_path or metrics_path:
+    # 'runs' reads a ledger, and 'serve' hands its --ledger to the
+    # service (one record per job); only the other subcommands wrap
+    # the whole invocation in an evaluation record here.
+    ledger_path = (getattr(args, "ledger", None)
+                   if args.command not in ("runs", "serve") else None)
+    if trace_path or metrics_path or ledger_path:
         obs.enable()
+    entry = ledger = None
+    if ledger_path:
+        from .obs.ledger import RunLedger
+
+        ledger = RunLedger(ledger_path)
+        obs.set_ledger(ledger)
+        entry = ledger.begin(
+            "evaluation",
+            knobs={"engine": getattr(args, "engine", None),
+                   "injector": getattr(args, "injector", None)},
+            params=_evaluation_params(args))
+    code = 1
     try:
         if getattr(args, "engine", None):
             engine_knob().set_default(args.engine)
-        return args.func(args)
+        code = args.func(args)
+        return code
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
+        code = 1
         return 1
     finally:
-        if trace_path or metrics_path:
+        if trace_path or metrics_path or ledger_path:
             # Exports go to files and notices to stderr, so the
             # subcommand's stdout stays byte-stable under --trace.
+            if entry is not None:
+                record = ledger.finish(
+                    entry, status="ok" if not code else "exit-%d" % code)
+                print("recorded %s in %s" % (record["id"], ledger_path),
+                      file=sys.stderr)
+                obs.set_ledger(None)
             if trace_path:
                 obs.write_trace(trace_path)
                 print("wrote %s" % trace_path, file=sys.stderr)

@@ -7,7 +7,11 @@ with structured attributes), a
 fixed-bucket histograms), Chrome/Perfetto and Prometheus exporters, and
 a :class:`~repro.obs.simprofile.SimProfiler` that attributes simulated
 cycles and energy per device and per program block via the existing
-access-event bus.
+access-event bus.  Two durable companions sit on top:
+:mod:`repro.obs.ledger` (an append-only JSONL run ledger, one record
+per evaluation/campaign/service job) and :mod:`repro.obs.context`
+(trace-context propagation that stitches campaign worker-process spans
+into the parent's exported trace).
 
 The layer is **off by default** and gated by one module-level flag:
 
@@ -57,6 +61,7 @@ __all__ = [
     "Tracer",
     "add_complete_span",
     "chrome_trace_document",
+    "current_ledger",
     "current_tracer",
     "disable",
     "enable",
@@ -67,6 +72,7 @@ __all__ = [
     "registry",
     "reset",
     "set_gauge",
+    "set_ledger",
     "span",
     "write_chrome_trace",
     "write_metrics",
@@ -78,6 +84,7 @@ _lock = threading.Lock()
 _enabled = False
 _tracer = None
 _registry = None
+_ledger = None
 
 
 def enabled():
@@ -105,11 +112,12 @@ def disable():
 
 def reset():
     """Disable and drop everything collected (test isolation)."""
-    global _enabled, _tracer, _registry
+    global _enabled, _tracer, _registry, _ledger
     with _lock:
         _enabled = False
         _tracer = None
         _registry = None
+        _ledger = None
 
 
 def current_tracer():
@@ -128,6 +136,25 @@ def registry():
         if _registry is None:
             _registry = MetricsRegistry()
         return _registry
+
+
+def set_ledger(ledger):
+    """Install (or, with None, clear) the process run ledger.
+
+    The CLI and the job service install a
+    :class:`~repro.obs.ledger.RunLedger` here; record producers (the
+    campaign runner, service jobs) look it up via
+    :func:`current_ledger` and skip ledger writes when none is set.
+    """
+    global _ledger
+    with _lock:
+        _ledger = ledger
+    return ledger
+
+
+def current_ledger():
+    """The installed run ledger, or None when runs go unrecorded."""
+    return _ledger
 
 
 # --- gated convenience wrappers ----------------------------------------------

@@ -48,6 +48,17 @@ def chrome_trace_events(tracer):
             "tid": tid,
             "args": {"name": "repro %s" % name.split(":")[0]},
         })
+    # Name each process lane: stitched worker spans (ingested from pool
+    # processes via repro.obs.context) carry foreign pids.
+    for pid in sorted({span.pid for span in tracer.spans()}):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro" if pid == tracer.pid
+                     else "repro worker %d" % pid},
+        })
     return events
 
 

@@ -91,6 +91,12 @@ class Gauge(_Metric):
     def value(self, **labels):
         return self._values.get(_label_key(labels), 0)
 
+    def remove(self, **labels):
+        """Drop one label set (e.g. a finished job's queue-depth lane)
+        so exports stop reporting a stale last value."""
+        with self._lock:
+            self._values.pop(_label_key(labels), None)
+
     def samples(self):
         with self._lock:
             items = sorted(self._values.items())

@@ -128,6 +128,17 @@ class Tracer:
     def _now(self):
         return time.perf_counter_ns() - self._epoch_ns
 
+    @property
+    def epoch_abs_ns(self):
+        """The tracer epoch as an absolute ``perf_counter_ns`` reading.
+
+        ``CLOCK_MONOTONIC`` is comparable across processes on one
+        host, so ``span.start_ns + epoch_abs_ns`` re-times a span
+        against any other process's tracer (see
+        :mod:`repro.obs.context`).
+        """
+        return self._epoch_ns
+
     def _new_id(self):
         with self._lock:
             self._next += 1
@@ -207,6 +218,30 @@ class Tracer:
         )
         self._record(span)
         return span
+
+    def ingest(self, records):
+        """File span records exported by another process's tracer.
+
+        ``records`` is the output of
+        :func:`repro.obs.context.export_records`: absolute-monotonic
+        timestamps, ids that embed the producing pid (so they cannot
+        collide with local ids), and parent links already pointing at
+        this process's spans.  Returns the number of spans filed.
+        """
+        for record in records:
+            self._record(Span(
+                name=record["name"],
+                category=record.get("category", "repro"),
+                span_id=record["span_id"],
+                parent_id=record.get("parent_id"),
+                pid=record["pid"],
+                tid=record["tid"],
+                start_ns=record["start_abs_ns"] - self._epoch_ns,
+                duration_ns=record["duration_ns"],
+                attrs=dict(record.get("attrs") or {}),
+                tracer=self,
+            ))
+        return len(records)
 
     # --- inspection ----------------------------------------------------------
 

@@ -166,11 +166,20 @@ class ReproService:
 
     def __init__(self, host="127.0.0.1", port=0, workers=2,
                  job_threads=8, cache_dir=None, engine=None,
-                 injector=None, clock=None):
+                 injector=None, clock=None, ledger_path=None):
         self.context = EvaluationContext(store=cache_dir, engine=engine)
         # ``clock`` stamps job timestamps; inject a fake in tests to
         # pin submitted_at/finished_at in status responses.
         self.registry = JobRegistry(clock=clock)
+        # With a ledger path every executed job leaves one durable
+        # run-ledger record, and /v1/runs serves the file read-only.
+        self.ledger = None
+        if ledger_path:
+            from ..obs.ledger import RunLedger
+
+            self.ledger = (RunLedger(ledger_path, clock=clock)
+                           if clock is not None
+                           else RunLedger(ledger_path))
         self.coalescer = Coalescer()
         self.scheduler = ShardScheduler(workers=workers)
         self.server = HttpServer(self._handle, host=host, port=port)
@@ -191,6 +200,10 @@ class ReproService:
         default so library code (spec builders, analytic cross-checks)
         shares its memo and store."""
         obs.enable()
+        if self.ledger is not None:
+            # Campaign jobs then write their own campaign records too,
+            # so one service ledger tells the whole story of a run.
+            obs.set_ledger(self.ledger)
         self._previous_context = set_context(self.context)
         await self.server.start()
         return self
@@ -221,6 +234,8 @@ class ReproService:
             None, lambda: self._executor.shutdown(wait=True))
         self.scheduler.close()
         await self.server.stop()
+        if self.ledger is not None and obs.current_ledger() is self.ledger:
+            obs.set_ledger(None)
         if self._previous_context is not None:
             set_context(self._previous_context)
             self._previous_context = None
@@ -271,6 +286,8 @@ class ReproService:
                 return "/v1/jobs/{id}"
             if len(parts) == 4 and parts[3] == "result":
                 return "/v1/jobs/{id}/result"
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "runs":
+            return "/v1/runs" if len(parts) == 2 else "/v1/runs/{id}"
         return request.path
 
     async def _route(self, request):
@@ -293,6 +310,15 @@ class ReproService:
             if len(parts) == 4 and parts[3] == "result":
                 return self._job_result(job)
             raise HttpError(404, "unknown job resource %r" % path)
+        if path == "/v1/runs" or path.startswith("/v1/runs/"):
+            if method != "GET":
+                raise HttpError(405, "the run ledger is read-only")
+            parts = [p for p in path.split("/") if p]
+            if len(parts) == 2:
+                return self._list_runs(request)
+            if len(parts) == 3:
+                return self._show_run(parts[2])
+            raise HttpError(404, "unknown run resource %r" % path)
         if path == "/metrics" and method == "GET":
             return self._metrics()
         if path == "/healthz" and method == "GET":
@@ -362,6 +388,14 @@ class ReproService:
 
     def _run_job(self, job):
         job.mark_running()
+        entry = None
+        if self.ledger is not None:
+            entry = self.ledger.begin(
+                "service-job", key=job.key,
+                knobs={"engine": job.params.get("engine") or self.engine,
+                       "injector": (job.params.get("injector")
+                                    or self.injector)},
+                params=dict(job.params, job=job.id, job_kind=job.kind))
         with obs.span("service.job", category="service",
                       attrs={"kind": job.kind, "key": job.key[:12]}):
             try:
@@ -383,6 +417,12 @@ class ReproService:
                 obs.inc("service_jobs_executed_total", kind=job.kind,
                         help="jobs that actually computed (led)")
                 self.coalescer.release(job.key, job.id)
+                if entry is not None:
+                    self.ledger.finish(
+                        entry,
+                        status="ok" if job.state == JobState.DONE
+                        else "failed",
+                        stats={"job_state": job.state})
 
     def _compute(self, job):
         """Returns ``(result_dict, cacheable)`` for one leading job."""
@@ -513,6 +553,43 @@ class ReproService:
                             % (job.id, state))
         return HttpResponse.json(
             {"id": job.id, "state": state, "result": result})
+
+    def _require_ledger(self):
+        if self.ledger is None:
+            raise HttpError(
+                404, "run ledger not enabled (serve with --ledger FILE)")
+        return self.ledger
+
+    def _list_runs(self, request):
+        from ..obs.ledger import LedgerError, parse_since
+
+        ledger = self._require_ledger()
+        since = None
+        raw = request.query.get("since")
+        if raw:
+            try:
+                since = parse_since(raw)
+            except LedgerError as error:
+                raise HttpError(400, str(error)) from None
+        records = ledger.read(since=since)
+        runs = [{"id": r.get("id"), "kind": r.get("kind"),
+                 "status": r.get("status"),
+                 "started_at": r.get("started_at"),
+                 "wall_s": r.get("wall_s"), "key": r.get("key")}
+                for r in records]
+        return HttpResponse.json({"runs": runs, "count": len(runs)})
+
+    def _show_run(self, run_id):
+        from ..obs.ledger import LedgerError
+
+        ledger = self._require_ledger()
+        try:
+            record = ledger.get(run_id)
+        except LedgerError as error:
+            raise HttpError(400, str(error)) from None
+        if record is None:
+            raise HttpError(404, "no such run %r" % run_id)
+        return HttpResponse.json({"run": record})
 
     def _metrics(self):
         self.scheduler._observe_queues()  # refresh gauges at scrape time

@@ -81,6 +81,19 @@ class ServiceClient:
     def result(self, job_id):
         return self._json("GET", "/v1/jobs/%s/result" % job_id)
 
+    def runs(self, since=None):
+        """Run-ledger summaries (404s unless served with --ledger)."""
+        path = "/v1/runs"
+        if since is not None:
+            from urllib.parse import quote
+
+            path += "?since=%s" % quote(str(since), safe="")
+        return self._json("GET", path)["runs"]
+
+    def run(self, run_id):
+        """One full run-ledger record by id (unique prefixes work)."""
+        return self._json("GET", "/v1/runs/%s" % run_id)["run"]
+
     def metrics(self):
         """The raw Prometheus text exposition."""
         _status, content = self._request("GET", "/metrics")
